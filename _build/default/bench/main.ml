@@ -1,0 +1,119 @@
+(* The benchmark harness.
+
+   Phase 1 regenerates every table and figure from the paper (plus the
+   ablations and future-work extensions) at full scale and prints them
+   with their shape checks — the reproduction's primary output, recorded
+   in EXPERIMENTS.md.
+
+   Phase 2 runs one Bechamel microbenchmark per paper artifact: each
+   measures the wall-clock cost of the miniature kernel of that
+   experiment's workload on this host, i.e. the simulator's own speed.
+
+   Set MALLOC_REPRO_QUICK=1 for reduced iteration counts, and
+   MALLOC_REPRO_NO_BECHAMEL=1 to skip phase 2. *)
+
+let quick = Sys.getenv_opt "MALLOC_REPRO_QUICK" <> None
+
+(* --- phase 2: bechamel kernels ---------------------------------------- *)
+
+module Kernels = struct
+  module B1 = Core.Bench1
+  module B2 = Core.Bench2
+  module B3 = Core.Bench3
+
+  let bench1 ~machine ~factory ~workers ~mode ~size () =
+    ignore
+      (B1.run
+         { B1.default with
+           B1.machine;
+           factory;
+           workers;
+           mode;
+           size;
+           iterations = 300;
+           paper_iterations = 300;
+         })
+
+  let bench2 ~machine ~threads ~rounds () =
+    ignore
+      (B2.run
+         { B2.default with
+           B2.machine;
+           threads;
+           rounds;
+           objects_per_thread = 400;
+           replacements_per_round = 150;
+         })
+
+  let bench3 ~threads ~aligned () =
+    ignore
+      (B3.run
+         { B3.default with B3.threads; aligned; object_size = 40; writes = 20_000; paper_writes = 20_000 })
+
+  (* One kernel per paper artifact. *)
+  let all =
+    let ppro = Core.Configs.dual_pentium_pro in
+    let xeon = Core.Configs.quad_xeon in
+    let sparc = Core.Configs.dual_ultrasparc in
+    let k6 = Core.Configs.uni_k6 in
+    let pt = Core.Factory.ptmalloc () in
+    let serial = Core.Factory.serial_solaris () in
+    [ ("table1", bench1 ~machine:ppro ~factory:pt ~workers:2 ~mode:B1.Threads ~size:512);
+      ("fig1", bench1 ~machine:ppro ~factory:pt ~workers:4 ~mode:B1.Threads ~size:8192);
+      ("fig2", bench1 ~machine:ppro ~factory:pt ~workers:16 ~mode:B1.Threads ~size:4100);
+      ("table2", bench1 ~machine:sparc ~factory:serial ~workers:2 ~mode:B1.Threads ~size:512);
+      ("fig3", bench1 ~machine:sparc ~factory:serial ~workers:4 ~mode:B1.Threads ~size:8192);
+      ("table3", bench1 ~machine:xeon ~factory:pt ~workers:2 ~mode:B1.Threads ~size:512);
+      ("fig4", bench1 ~machine:xeon ~factory:pt ~workers:5 ~mode:B1.Threads ~size:8192);
+      ("table4", bench1 ~machine:xeon ~factory:pt ~workers:3 ~mode:B1.Threads ~size:8192);
+      ("predictor", bench2 ~machine:k6 ~threads:1 ~rounds:2);
+      ("fig5", bench2 ~machine:k6 ~threads:1 ~rounds:4);
+      ("fig6", bench2 ~machine:k6 ~threads:3 ~rounds:4);
+      ("fig7", bench2 ~machine:k6 ~threads:7 ~rounds:2);
+      ("fig8", bench2 ~machine:xeon ~threads:7 ~rounds:4);
+      ("fig9", bench3 ~threads:2 ~aligned:false);
+      ("fig10", bench3 ~threads:3 ~aligned:false);
+      ("fig11", bench3 ~threads:4 ~aligned:false);
+      ("bench3-aligned", bench3 ~threads:4 ~aligned:true);
+    ]
+end
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    List.map (fun (name, kernel) -> Test.make ~name (Staged.stage kernel)) Kernels.all
+  in
+  let grouped = Test.make_grouped ~name:"kernels" tests in
+  let cfg =
+    Benchmark.cfg ~limit:30
+      ~quota:(Time.second (if quick then 0.10 else 0.30))
+      ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "=== bechamel: simulator kernel cost per paper artifact (host wall clock) ===";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> Printf.printf "%-28s %12.0f ns/run\n" name ns
+      | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* --- main ---------------------------------------------------------------- *)
+
+let () =
+  let opts = { Core.Exp_common.quick; seed = 1 } in
+  Printf.printf "malloc() reproduction benchmark harness (%s mode)\n\n"
+    (if quick then "quick" else "full");
+  let outcomes = Core.Experiments.run_all opts in
+  print_endline "== summary: paper artifacts and extensions ==";
+  List.iter (fun o -> print_endline (Core.Outcome.summary_line o)) outcomes;
+  let failed = List.filter (fun o -> not (Core.Outcome.passed o)) outcomes in
+  Printf.printf "\n%d/%d experiments reproduce the paper's shape\n\n"
+    (List.length outcomes - List.length failed)
+    (List.length outcomes);
+  if Sys.getenv_opt "MALLOC_REPRO_NO_BECHAMEL" = None then run_bechamel ();
+  if failed <> [] then exit 1

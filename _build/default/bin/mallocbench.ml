@@ -1,0 +1,242 @@
+(* mallocbench — command-line driver for the malloc() reproduction.
+
+   Subcommands:
+     bench1      the multithread-scalability microbenchmark
+     bench2      the heap-leak / minor-fault microbenchmark
+     bench3      the false-sharing microbenchmark
+     server      the network-server workload
+     experiment  regenerate a paper table/figure (or all of them)
+     list        enumerate machines, allocators and experiments *)
+
+open Cmdliner
+
+let machine_conv =
+  let parse s =
+    match Core.Configs.by_name s with
+    | Some cfg -> Ok cfg
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown machine %S (try: %s)" s
+                       (String.concat ", " Core.Configs.names)))
+  in
+  let print fmt (cfg : Core.Machine.config) =
+    Format.fprintf fmt "%d cpu @ %.0f MHz" cfg.Core.Machine.cpus cfg.Core.Machine.mhz
+  in
+  Arg.conv (parse, print)
+
+let factory_conv =
+  let parse s =
+    match Core.Factory.by_name s with
+    | Some f -> Ok f
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown allocator %S (try: %s)" s
+                       (String.concat ", " Core.Factory.names)))
+  in
+  let print fmt (f : Core.Factory.t) = Format.fprintf fmt "%s" f.Core.Factory.label in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  Arg.(value
+       & opt machine_conv Core.Configs.dual_pentium_pro
+       & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"Machine preset (see $(b,list)).")
+
+let factory_arg =
+  Arg.(value
+       & opt factory_conv (Core.Factory.ptmalloc ())
+       & info [ "a"; "allocator" ] ~docv:"ALLOC" ~doc:"Allocator (see $(b,list)).")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let threads_arg default =
+  Arg.(value & opt int default & info [ "t"; "threads" ] ~doc:"Worker thread count.")
+
+(* --- bench1 ----------------------------------------------------------- *)
+
+let bench1_cmd =
+  let run machine factory seed workers iterations size processes =
+    let params =
+      { Core.Bench1.default with
+        Core.Bench1.machine;
+        factory;
+        seed;
+        workers;
+        iterations;
+        size;
+        mode = (if processes then Core.Bench1.Processes else Core.Bench1.Threads);
+      }
+    in
+    let r = Core.Bench1.run params in
+    Printf.printf "mode: %s | workers: %d | size: %dB | iterations: %d (scaled to %d)\n"
+      (if processes then "processes" else "threads")
+      workers size iterations params.Core.Bench1.paper_iterations;
+    List.iteri
+      (fun i s -> Printf.printf "worker %d: %.6f s (scaled)\n" (i + 1) s)
+      r.Core.Bench1.scaled_s;
+    Printf.printf "context switches: %d | contended ops: %d | arenas: %d | utilization: %.1f%%\n"
+      r.Core.Bench1.ctx_switches r.Core.Bench1.lock_contended_ops r.Core.Bench1.arenas
+      (100. *. r.Core.Bench1.utilization)
+  in
+  let iterations = Arg.(value & opt int 50_000 & info [ "iterations" ] ~doc:"malloc/free pairs per worker.") in
+  let size = Arg.(value & opt int 512 & info [ "size" ] ~doc:"Request size in bytes.") in
+  let processes = Arg.(value & flag & info [ "processes" ] ~doc:"One process per worker instead of threads.") in
+  Cmd.v
+    (Cmd.info "bench1" ~doc:"Multithread scalability: timed malloc/free loops")
+    Term.(const run $ machine_arg $ factory_arg $ seed_arg $ threads_arg 2 $ iterations $ size $ processes)
+
+(* --- bench2 ----------------------------------------------------------- *)
+
+let bench2_cmd =
+  let run machine factory seed threads rounds objects replacements size =
+    let params =
+      { Core.Bench2.machine;
+        factory;
+        seed;
+        threads;
+        rounds;
+        objects_per_thread = objects;
+        replacements_per_round = replacements;
+        size;
+      }
+    in
+    let r = Core.Bench2.run params in
+    Printf.printf "threads: %d | rounds: %d | objects/thread: %d | size: %dB\n" threads rounds
+      objects size;
+    Printf.printf "minor page faults: %d (paper predictor: %.1f)\n" r.Core.Bench2.minor_faults
+      (Core.Bench2.paper_predictor ~threads ~rounds);
+    Printf.printf "resident pages: %d | arenas: %d | foreign frees: %d | sbrk calls: %d | mmap calls: %d\n"
+      r.Core.Bench2.resident_pages r.Core.Bench2.arenas_created r.Core.Bench2.foreign_frees
+      r.Core.Bench2.sbrk_calls r.Core.Bench2.mmap_calls
+  in
+  let rounds = Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Thread generations per chain.") in
+  let objects = Arg.(value & opt int 10_000 & info [ "objects" ] ~doc:"Pre-allocated objects per thread.") in
+  let replacements = Arg.(value & opt int 2_200 & info [ "replacements" ] ~doc:"Replacements per round.") in
+  let size = Arg.(value & opt int 40 & info [ "size" ] ~doc:"Object size in bytes.") in
+  let machine_arg2 =
+    Arg.(value & opt machine_conv Core.Configs.uni_k6
+         & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"Machine preset.")
+  in
+  Cmd.v
+    (Cmd.info "bench2" ~doc:"Heap leakage: minor faults under cross-thread frees")
+    Term.(const run $ machine_arg2 $ factory_arg $ seed_arg $ threads_arg 3 $ rounds $ objects
+          $ replacements $ size)
+
+(* --- bench3 ----------------------------------------------------------- *)
+
+let bench3_cmd =
+  let run machine factory seed threads size writes aligned =
+    let params =
+      { Core.Bench3.default with
+        Core.Bench3.machine;
+        factory;
+        seed;
+        threads;
+        object_size = size;
+        writes;
+        aligned;
+      }
+    in
+    let r = Core.Bench3.run params in
+    Printf.printf "threads: %d | object size: %dB | writes: %d (scaled to %d) | %s\n" threads size
+      writes params.Core.Bench3.paper_writes
+      (if aligned then "cache-aligned" else "normal placement");
+    Printf.printf "elapsed: %.6f s (scaled) | ping-pong transfers: %d | shared lines: %d\n"
+      r.Core.Bench3.scaled_s r.Core.Bench3.transfers r.Core.Bench3.shared_lines;
+    Printf.printf "object addresses: %s\n"
+      (String.concat ", " (List.map (Printf.sprintf "0x%x") r.Core.Bench3.addresses))
+  in
+  let size = Arg.(value & opt int 40 & info [ "size" ] ~doc:"Object size (the paper sweeps 3-52).") in
+  let writes = Arg.(value & opt int 1_000_000 & info [ "writes" ] ~doc:"Writes per thread.") in
+  let aligned = Arg.(value & flag & info [ "aligned" ] ~doc:"Use the cache-line-aligning wrapper.") in
+  let machine_arg3 =
+    Arg.(value & opt machine_conv Core.Configs.quad_xeon
+         & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"Machine preset.")
+  in
+  Cmd.v
+    (Cmd.info "bench3" ~doc:"False cache-line sharing between writer threads")
+    Term.(const run $ machine_arg3 $ factory_arg $ seed_arg $ threads_arg 2 $ size $ writes $ aligned)
+
+(* --- server ------------------------------------------------------------ *)
+
+let server_cmd =
+  let run machine factory seed threads requests latency =
+    let params =
+      { Core.Server.default with
+        Core.Server.machine;
+        factory;
+        seed;
+        threads;
+        requests_per_thread = requests;
+        probe_latency = latency;
+      }
+    in
+    let r = Core.Server.run params in
+    Printf.printf "threads: %d | requests/thread: %d | allocator: %s\n" threads requests
+      factory.Core.Factory.label;
+    Printf.printf "throughput: %.0f req/s (simulated) | makespan: %.3f s\n"
+      r.Core.Server.requests_per_second r.Core.Server.elapsed_s;
+    Printf.printf "foreign frees: %d | arenas: %d | contended ops: %d\n" r.Core.Server.foreign_frees
+      r.Core.Server.arenas r.Core.Server.contended_ops;
+    match r.Core.Server.latency with
+    | None -> ()
+    | Some p ->
+        Printf.printf "malloc latency: mean %.0f ns, p99 %.0f ns, uptime drift %.2f\n"
+          p.Core.Server.malloc_mean_ns p.Core.Server.malloc_p99_ns p.Core.Server.drift
+  in
+  let requests = Arg.(value & opt int 2_000 & info [ "requests" ] ~doc:"Requests per worker.") in
+  let latency = Arg.(value & flag & info [ "latency" ] ~doc:"Probe per-malloc latency.") in
+  let machine_arg4 =
+    Arg.(value & opt machine_conv Core.Configs.quad_xeon
+         & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"Machine preset.")
+  in
+  Cmd.v
+    (Cmd.info "server" ~doc:"Network-server workload (iPlanet-style)")
+    Term.(const run $ machine_arg4 $ factory_arg $ seed_arg $ threads_arg 4 $ requests $ latency)
+
+(* --- experiment --------------------------------------------------------- *)
+
+let experiment_cmd =
+  let run ids quick seed csv_dir =
+    let opts = { Core.Exp_common.quick; seed } in
+    let only = match ids with [] -> None | ids -> Some ids in
+    let outcomes = Core.Experiments.run_all ?only opts in
+    (match csv_dir with
+    | None -> ()
+    | Some dir ->
+        List.iter
+          (fun (o : Core.Outcome.t) ->
+            if o.Core.Outcome.series <> [] then
+              Core.Csv.write_file
+                (Filename.concat dir (o.Core.Outcome.id ^ ".csv"))
+                (Core.Csv.of_series o.Core.Outcome.series))
+          outcomes);
+    print_endline "== summary ==";
+    List.iter (fun o -> print_endline (Core.Outcome.summary_line o)) outcomes;
+    if not (List.for_all Core.Outcome.passed outcomes) then Stdlib.exit 1
+  in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced iteration counts.") in
+  let csv_dir =
+    Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc:"Also write series as CSV files.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
+    Term.(const run $ ids $ quick $ seed_arg $ csv_dir)
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "machines:    %s\n" (String.concat ", " Core.Configs.names);
+    Printf.printf "allocators:  %s\n" (String.concat ", " Core.Factory.names);
+    Printf.printf "experiments: %s\n" (String.concat ", " Core.Experiments.ids)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List machines, allocators and experiments") Term.(const run $ const ())
+
+let main =
+  let doc = "simulated reproduction of 'malloc() Performance in a Multithreaded Linux Environment'" in
+  Cmd.group
+    (Cmd.info "mallocbench" ~version:"1.0.0" ~doc)
+    [ bench1_cmd; bench2_cmd; bench3_cmd; server_cmd; experiment_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/tuning.ml: Core List Printf

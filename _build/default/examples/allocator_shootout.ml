@@ -1,0 +1,50 @@
+(* Replay one allocation trace against every allocator, single-threaded
+   and multithreaded, and print a comparison table — a miniature of the
+   study the paper says simple benchmarks enable: "uncover basic
+   architectural limitations that make an allocator inappropriate for
+   use with network server applications".
+
+     dune exec examples/allocator_shootout.exe *)
+
+module M = Core.Machine
+module A = Core.Allocator
+
+let trace_time factory threads =
+  let machine = M.create ~seed:7 Core.Configs.quad_xeon in
+  let proc = M.create_proc machine ~name:"shootout" () in
+  let alloc = factory.Core.Factory.create proc in
+  let slots = 600 in
+  let rng = Core.Rng.create ~seed:99 in
+  (* Each thread gets its own slice of slots and its own trace. *)
+  let traces =
+    List.init threads (fun _ -> Core.Trace.generate ~rng ~ops:8_000 ~slots ())
+  in
+  let workers =
+    List.map (fun trace -> M.spawn proc (fun ctx -> Core.Trace.replay alloc ctx trace ~slots)) traces
+  in
+  M.run machine;
+  (match alloc.A.validate () with
+  | Ok () -> ()
+  | Error msg -> failwith (factory.Core.Factory.label ^ ": " ^ msg));
+  List.fold_left (fun acc w -> max acc (M.elapsed_ns w /. 1e6)) 0. workers
+
+let () =
+  let factories =
+    [ Core.Factory.ptmalloc ();
+      Core.Factory.serial_glibc ();
+      Core.Factory.perthread ();
+      Core.Factory.slab ();
+    ]
+  in
+  let thread_counts = [ 1; 2; 4 ] in
+  Printf.printf "%-14s" "allocator";
+  List.iter (fun t -> Printf.printf "%12s" (Printf.sprintf "%d thread%s" t (if t > 1 then "s" else ""))) thread_counts;
+  print_newline ();
+  List.iter
+    (fun f ->
+      Printf.printf "%-14s" f.Core.Factory.label;
+      List.iter (fun t -> Printf.printf "%10.2fms" (trace_time f t)) thread_counts;
+      print_newline ())
+    factories;
+  print_newline ();
+  print_endline "(simulated makespan of a server-like allocation trace on a 4-way 500MHz Xeon)"

@@ -1,0 +1,68 @@
+(* Tuning the allocator, the paper's section 3 aside: "an application can
+   invoke mallopt(3) to enable some of these features". Shows
+   M_MMAP_THRESHOLD rerouting big requests, mallinfo accounting, and what
+   the glibc-2.3 fastbin evolution buys the 40-byte path.
+
+     dune exec examples/tuning.exe *)
+
+module M = Core.Machine
+module A = Core.Allocator
+
+let show_mallinfo label pt =
+  let i = Core.Ptmalloc.mallinfo pt in
+  Printf.printf "%-26s arena=%6dB used=%6dB free=%6dB mmapped=%d blocks (%dB) top=%dB\n" label
+    i.Core.Ptmalloc.arena i.Core.Ptmalloc.uordblks i.Core.Ptmalloc.fordblks i.Core.Ptmalloc.hblks
+    i.Core.Ptmalloc.hblkhd i.Core.Ptmalloc.keepcost
+
+let () =
+  let machine = M.create ~seed:3 Core.Configs.dual_pentium_pro in
+  let proc = M.create_proc machine ~name:"tuned" () in
+  let pt = Core.Ptmalloc.make proc () in
+  let alloc = Core.Ptmalloc.allocator pt in
+  ignore
+    (M.spawn proc (fun ctx ->
+         (* A mixed footprint, then a snapshot. *)
+         let small = List.init 50 (fun _ -> alloc.A.malloc ctx 40) in
+         let medium = alloc.A.malloc ctx 8192 in
+         show_mallinfo "default thresholds:" pt;
+
+         (* Push the mmap threshold down: big blocks leave the arena. *)
+         Core.Ptmalloc.mallopt pt (Core.Ptmalloc.Mmap_threshold 4096);
+         let big = alloc.A.malloc ctx 8192 in
+         show_mallinfo "M_MMAP_THRESHOLD=4096:" pt;
+
+         (* The classic calloc/realloc/memalign trio work on any allocator. *)
+         let table = A.calloc alloc ctx ~count:64 ~size:16 in
+         let table = A.realloc alloc ctx table 2048 in
+         let line_buf = A.memalign alloc ctx ~alignment:32 100 in
+         Printf.printf "calloc+realloc block: %dB usable; memalign -> 0x%x (mod 32 = %d)\n"
+           (alloc.A.usable_size table) line_buf (line_buf mod 32);
+
+         A.free_aligned alloc ctx line_buf;
+         alloc.A.free ctx table;
+         alloc.A.free ctx big;
+         alloc.A.free ctx medium;
+         List.iter (fun u -> alloc.A.free ctx u) small;
+         show_mallinfo "after draining:" pt));
+  M.run machine;
+
+  (* Fastbins: time the paper's benchmark-1 loop at 40 bytes both ways. *)
+  let time_pairs use_fastbins =
+    let m = M.create ~seed:3 Core.Configs.dual_pentium_pro in
+    let p = M.create_proc m () in
+    let params = { Core.Dlheap.default_params with Core.Dlheap.use_fastbins } in
+    let a = Core.Ptmalloc.allocator (Core.Ptmalloc.make p ~params ()) in
+    let th =
+      M.spawn p (fun ctx ->
+          for _ = 1 to 10_000 do
+            let u = a.A.malloc ctx 40 in
+            a.A.free ctx u
+          done)
+    in
+    M.run m;
+    M.elapsed_ns th /. 10_000.
+  in
+  let classic = time_pairs false and fast = time_pairs true in
+  Printf.printf "\n40B malloc/free pair: glibc 2.0/2.1 %.0f ns, with fastbins %.0f ns (%.0f%% saved)\n"
+    classic fast
+    ((classic -. fast) /. classic *. 100.)

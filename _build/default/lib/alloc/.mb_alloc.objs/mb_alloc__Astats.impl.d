@@ -1,0 +1,1 @@
+lib/alloc/astats.ml: Format

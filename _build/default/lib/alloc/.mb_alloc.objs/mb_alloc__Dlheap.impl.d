@@ -1,0 +1,1 @@
+lib/alloc/dlheap.ml: Array Astats Costs Hashtbl Mb_machine Printf

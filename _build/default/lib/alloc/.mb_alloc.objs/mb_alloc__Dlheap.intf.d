@@ -1,0 +1,1 @@
+lib/alloc/dlheap.mli: Astats Costs Mb_machine

@@ -1,0 +1,1 @@
+lib/alloc/hoard.ml: Allocator Array Astats Costs Hashtbl List Mb_machine Printf

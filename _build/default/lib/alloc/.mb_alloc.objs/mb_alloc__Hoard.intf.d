@@ -1,0 +1,1 @@
+lib/alloc/hoard.mli: Allocator Costs Mb_machine

@@ -1,0 +1,1 @@
+lib/alloc/perthread.ml: Allocator Array Astats Costs Dlheap Hashtbl List Mb_machine

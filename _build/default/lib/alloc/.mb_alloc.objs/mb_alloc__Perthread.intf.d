@@ -1,0 +1,1 @@
+lib/alloc/perthread.mli: Allocator Costs Dlheap Mb_machine

@@ -1,0 +1,1 @@
+lib/alloc/ptmalloc.ml: Allocator Array Astats Costs Dlheap Hashtbl Mb_machine Mb_prng Printf

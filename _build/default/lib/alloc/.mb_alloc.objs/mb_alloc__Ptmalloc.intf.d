@@ -1,0 +1,1 @@
+lib/alloc/ptmalloc.mli: Allocator Costs Dlheap Mb_machine

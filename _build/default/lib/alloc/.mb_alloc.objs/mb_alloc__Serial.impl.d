@@ -1,0 +1,1 @@
+lib/alloc/serial.ml: Allocator Astats Costs Dlheap Hashtbl Mb_machine

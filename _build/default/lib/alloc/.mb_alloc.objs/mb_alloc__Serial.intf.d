@@ -1,0 +1,1 @@
+lib/alloc/serial.mli: Allocator Costs Dlheap Mb_machine

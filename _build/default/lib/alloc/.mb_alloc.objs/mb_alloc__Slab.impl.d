@@ -1,0 +1,1 @@
+lib/alloc/slab.ml: Allocator Astats Costs Hashtbl List Mb_machine Printf

@@ -1,0 +1,1 @@
+lib/alloc/slab.mli: Allocator Costs Mb_machine

@@ -1,0 +1,40 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let padding_overhead ~line_size size =
+  let padded = (size + line_size - 1) / line_size * line_size in
+  padded - size + line_size
+
+let make ~line_size (inner : Allocator.t) =
+  if not (is_power_of_two line_size) then invalid_arg "Aligned.make: line_size not a power of two";
+  (* aligned user address -> inner allocation address *)
+  let originals = Hashtbl.create 256 in
+  let round_up a = (a + line_size - 1) / line_size * line_size in
+  let malloc ctx size =
+    (* Pad to a whole number of lines, plus slack to slide the base up to
+       the next boundary: the object then owns every line it touches. *)
+    let padded = ((size + line_size - 1) / line_size * line_size) + line_size in
+    let raw = inner.Allocator.malloc ctx padded in
+    let user = round_up raw in
+    Hashtbl.replace originals user raw;
+    user
+  in
+  let free ctx user =
+    match Hashtbl.find_opt originals user with
+    | Some raw ->
+        Hashtbl.remove originals user;
+        inner.Allocator.free ctx raw
+    | None -> invalid_arg "Aligned.free: address was not allocated through this wrapper"
+  in
+  let usable_size user =
+    match Hashtbl.find_opt originals user with
+    | Some raw -> inner.Allocator.usable_size raw - (user - raw)
+    | None -> invalid_arg "Aligned.usable_size: unknown address"
+  in
+  { Allocator.name = inner.Allocator.name ^ "+aligned";
+    malloc;
+    free;
+    usable_size;
+    stats = inner.Allocator.stats;
+    validate = inner.Allocator.validate;
+    origins = Hashtbl.create 8;
+  }

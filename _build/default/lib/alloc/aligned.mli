@@ -1,0 +1,19 @@
+(** Cache-line-aligning wrapper around any allocator.
+
+    Implements the mitigation the paper's conclusion proposes: "a heap
+    allocator that aligns objects automatically to cache line boundaries,
+    and thereby increases heap fragmentation". Requests are padded so
+    the returned address can be rounded up to a line boundary and the
+    object never shares its line(s) with a neighbour. Benchmark 3's
+    "cache-aligned" series is the wrapped allocator; its "normal" series
+    is the allocator underneath. *)
+
+val make : line_size:int -> Allocator.t -> Allocator.t
+(** [make ~line_size inner] aligns every block to [line_size] (a power of
+    two) and pads it to a line multiple. The wrapper shares [inner]'s
+    statistics record, so padding shows up as extra requested bytes. *)
+
+val padding_overhead : line_size:int -> int -> int
+(** [padding_overhead ~line_size size] is the worst-case extra bytes the
+    wrapper requests for a [size]-byte block — the fragmentation price of
+    alignment the paper trades off. *)

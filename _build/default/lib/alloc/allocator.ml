@@ -1,0 +1,62 @@
+module M = Mb_machine.Machine
+
+type t = {
+  name : string;
+  malloc : M.ctx -> int -> int;
+  free : M.ctx -> int -> unit;
+  usable_size : int -> int;
+  stats : Astats.t;
+  validate : unit -> (unit, string) result;
+  origins : (int, int) Hashtbl.t;
+}
+
+let out_of_memory who = failwith (who ^ ": out of memory")
+
+(* Cost model for the derived entry points: a 1999-class CPU moves or
+   clears roughly 8 bytes per cycle from/to cache. *)
+let zero_cost_cycles bytes = (bytes + 7) / 8
+
+let copy_cost_cycles bytes = (bytes + 7) / 8 * 2  (* load + store *)
+
+let calloc t ctx ~count ~size =
+  if count < 0 || size < 0 then invalid_arg "Allocator.calloc: negative";
+  if size > 0 && count > max_int / size then invalid_arg "Allocator.calloc: overflow";
+  let bytes = max 1 (count * size) in
+  let user = t.malloc ctx bytes in
+  M.work ctx (zero_cost_cycles bytes);
+  M.touch_range ctx user ~len:bytes;
+  user
+
+let realloc t ctx addr new_size =
+  if new_size < 0 then invalid_arg "Allocator.realloc: negative size";
+  if addr = 0 then if new_size = 0 then 0 else t.malloc ctx new_size
+  else if new_size = 0 then begin
+    t.free ctx addr;
+    0
+  end
+  else begin
+    let old_usable = t.usable_size addr in
+    if old_usable >= new_size then addr  (* shrink or fitting growth: in place *)
+    else begin
+      let fresh = t.malloc ctx new_size in
+      M.work ctx (copy_cost_cycles old_usable);
+      M.touch_range ctx fresh ~len:old_usable;
+      t.free ctx addr;
+      fresh
+    end
+  end
+
+let memalign t ctx ~alignment size =
+  if alignment <= 0 || alignment land (alignment - 1) <> 0 then
+    invalid_arg "Allocator.memalign: alignment not a power of two";
+  let raw = t.malloc ctx (size + alignment) in
+  let user = (raw + alignment - 1) / alignment * alignment in
+  if user <> raw then Hashtbl.replace t.origins user raw;
+  user
+
+let free_aligned t ctx user =
+  match Hashtbl.find_opt t.origins user with
+  | Some raw ->
+      Hashtbl.remove t.origins user;
+      t.free ctx raw
+  | None -> t.free ctx user

@@ -1,0 +1,73 @@
+(** The common allocator interface.
+
+    An allocator is a record of closures over its hidden state, so that
+    wrappers (e.g. {!Aligned}) and the benchmark drivers can treat every
+    implementation — ptmalloc, the serial Solaris model, the per-thread
+    baseline, the slab allocator — uniformly, the way the paper treats
+    each [malloc] as a black box.
+
+    Addresses returned by [malloc] are user-data addresses in the owning
+    process's simulated address space; the caller may {!Mb_machine.Machine.write_mem}
+    them. [malloc] consumes simulated time on the calling thread. *)
+
+type t = {
+  name : string;
+  malloc : Mb_machine.Machine.ctx -> int -> int;
+      (** [malloc ctx size] returns the user address of a new block of at
+          least [size] bytes. @raise Out_of_memory when the address space
+          or arena space is exhausted. *)
+  free : Mb_machine.Machine.ctx -> int -> unit;
+      (** [free ctx addr] releases a block previously returned by
+          [malloc]. @raise Invalid_argument on a bad address (the
+          simulation's equivalent of heap corruption). *)
+  usable_size : int -> int;
+      (** Bytes actually reserved for the block at a user address
+          (chunk size minus header) — the allocator's internal
+          fragmentation, inspectable for tests. *)
+  stats : Astats.t;
+  validate : unit -> (unit, string) result;
+      (** Full heap-invariant check (boundary tags, bin membership,
+          overlap freedom); [Error msg] pinpoints the first violation. *)
+  origins : (int, int) Hashtbl.t;
+      (** {!memalign} bookkeeping (aligned -> raw address); create with
+          [Hashtbl.create 8]. Wrappers that share the inner allocator's
+          state should share this table too. *)
+}
+
+val out_of_memory : string -> 'a
+(** Raise [Out_of_memory]-style failure with context (we use [Failure]
+    carrying the allocator name so tests can distinguish sources). *)
+
+(** {1 Derived entry points}
+
+    The rest of the C allocation API, built portably on [malloc]/[free]/
+    [usable_size] the way early libc shims did. Costs are charged to the
+    calling thread: zeroing and copying consume cycles proportional to
+    the bytes moved. *)
+
+val calloc : t -> Mb_machine.Machine.ctx -> count:int -> size:int -> int
+(** [calloc t ctx ~count ~size] allocates [count * size] zeroed bytes
+    (the zeroing both costs time and demand-pages the block).
+    @raise Invalid_argument on overflowing [count * size]. *)
+
+val realloc : t -> Mb_machine.Machine.ctx -> int -> int -> int
+(** [realloc t ctx addr new_size] grows or shrinks a block. Returns the
+    (possibly moved) address; shrinking and fitting growth are in-place,
+    a real move copies the old contents at memcpy cost. [realloc t ctx
+    addr 0] frees and returns 0; [realloc t ctx 0 n] is [malloc n]. *)
+
+val memalign : t -> Mb_machine.Machine.ctx -> alignment:int -> int -> int
+(** [memalign t ctx ~alignment size] returns a block aligned to
+    [alignment] (a power of two). Over-allocates and remembers the
+    original address, like the classic portable implementation; blocks
+    from [memalign] must be released with {!free_aligned}. *)
+
+val free_aligned : t -> Mb_machine.Machine.ctx -> int -> unit
+(** Releases a {!memalign} block (also accepts plain [malloc] blocks,
+    so callers can treat the two uniformly). *)
+
+val zero_cost_cycles : int -> int
+(** Cycles charged to zero [n] bytes (exposed for tests). *)
+
+val copy_cost_cycles : int -> int
+(** Cycles charged to copy [n] bytes (exposed for tests). *)

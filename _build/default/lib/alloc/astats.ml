@@ -1,0 +1,50 @@
+type t = {
+  mutable mallocs : int;
+  mutable frees : int;
+  mutable bytes_requested : int;
+  mutable live_bytes : int;
+  mutable live_objects : int;
+  mutable peak_live_bytes : int;
+  mutable arenas_created : int;
+  mutable arena_switches : int;
+  mutable contended_ops : int;
+  mutable foreign_frees : int;
+  mutable mmapped_chunks : int;
+  mutable grow_failures : int;
+}
+
+let create () =
+  { mallocs = 0;
+    frees = 0;
+    bytes_requested = 0;
+    live_bytes = 0;
+    live_objects = 0;
+    peak_live_bytes = 0;
+    arenas_created = 0;
+    arena_switches = 0;
+    contended_ops = 0;
+    foreign_frees = 0;
+    mmapped_chunks = 0;
+    grow_failures = 0;
+  }
+
+let record_malloc t size =
+  t.mallocs <- t.mallocs + 1;
+  t.bytes_requested <- t.bytes_requested + size;
+  t.live_bytes <- t.live_bytes + size;
+  t.live_objects <- t.live_objects + 1;
+  if t.live_bytes > t.peak_live_bytes then t.peak_live_bytes <- t.live_bytes
+
+let record_free t size =
+  t.frees <- t.frees + 1;
+  t.live_bytes <- t.live_bytes - size;
+  t.live_objects <- t.live_objects - 1
+
+let live_bytes t = t.live_bytes
+
+let pp fmt t =
+  Format.fprintf fmt
+    "mallocs=%d frees=%d live=%dB peak=%dB arenas=%d switches=%d contended=%d foreign_frees=%d \
+     mmapped=%d grow_failures=%d"
+    t.mallocs t.frees t.live_bytes t.peak_live_bytes t.arenas_created t.arena_switches
+    t.contended_ops t.foreign_frees t.mmapped_chunks t.grow_failures

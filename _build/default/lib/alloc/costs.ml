@@ -1,0 +1,16 @@
+type t = {
+  malloc_base : int;
+  free_base : int;
+  bin_probe : int;
+  split : int;
+  coalesce : int;
+  scale : float;
+}
+
+let glibc = { malloc_base = 238; free_base = 176; bin_probe = 8; split = 30; coalesce = 35; scale = 1.0 }
+
+let solaris = { malloc_base = 117; free_base = 85; bin_probe = 6; split = 20; coalesce = 25; scale = 1.0 }
+
+let scaled t f = { t with scale = t.scale *. f }
+
+let apply t cycles = int_of_float (float_of_int cycles *. t.scale +. 0.5)

@@ -1,0 +1,31 @@
+(** Instruction-cycle cost model for allocator code paths.
+
+    These constants represent the straight-line instruction work of each
+    allocator operation; memory-system costs (cache coherence, page
+    faults) and locking are charged separately by the machine layer.
+    [scale] is the per-host calibration multiplier described in DESIGN.md:
+    it absorbs architectural differences (issue width, pipeline depth)
+    between the paper's hosts without touching protocol behaviour. *)
+
+type t = {
+  malloc_base : int;     (** fast-path [malloc] instructions *)
+  free_base : int;       (** fast-path [free] instructions *)
+  bin_probe : int;       (** examining one candidate bin / free-list node *)
+  split : int;           (** splitting a remainder off a chunk *)
+  coalesce : int;        (** merging with one neighbour *)
+  scale : float;
+}
+
+val glibc : t
+(** Calibrated so a 512-byte malloc/free pair on the 200 MHz Pentium Pro
+    preset matches the paper's 23.28 s / 10M pairs single-thread run. *)
+
+val solaris : t
+(** The paper's Solaris allocator is the fastest single-threaded one
+    (6.05 s on a 400 MHz UltraSPARC II); smaller base costs reflect that. *)
+
+val scaled : t -> float -> t
+(** [scaled t f] multiplies the calibration scale (composes). *)
+
+val apply : t -> int -> int
+(** [apply t cycles] scales a raw cycle count. *)

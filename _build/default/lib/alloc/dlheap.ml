@@ -1,0 +1,672 @@
+module M = Mb_machine.Machine
+
+type params = {
+  mmap_threshold : int;
+  trim_threshold : int;
+  top_pad : int;
+  sub_heap_bytes : int;
+  use_fastbins : bool;
+  mmap_fallback : bool;
+}
+
+let default_params =
+  { mmap_threshold = 32 * 4096;
+    trim_threshold = 128 * 1024;
+    top_pad = 4096;
+    sub_heap_bytes = 1024 * 1024;
+    use_fastbins = false;
+    mmap_fallback = true;
+  }
+
+let header_bytes = 8
+
+let min_chunk_bytes = 16
+
+let align = 8
+
+(* A chunk is bookkeeping for [size] bytes at [addr]; user data starts at
+   [addr + header_bytes]. [prev_size] is the boundary tag: the size of the
+   chunk immediately below in the segment (0 at the segment base). Free
+   chunks are linked into their bin through [fd]/[bk]. *)
+type chunk = {
+  addr : int;
+  mutable size : int;
+  mutable is_free : bool;
+  mutable prev_size : int;
+  mutable fd : chunk option;
+  mutable bk : chunk option;
+  mutable bin : int;  (* -1 when not binned *)
+  mutable in_fastbin : bool;
+}
+
+(* The wilderness chunk; kept out of the bins and the chunk table. *)
+type top = { mutable taddr : int; mutable tsize : int; mutable tprev_size : int }
+
+type kind =
+  | Main                                      (* grows at the process break *)
+  | Sub of { region_base : int; region_len : int; mutable sub_brk : int }
+
+type t = {
+  proc : M.proc;
+  costs : Costs.t;
+  mutable params : params;
+  stats : Astats.t;
+  kind : kind;
+  bins : chunk option array;
+  fastbins : chunk option array;              (* glibc-2.3-style no-coalesce caches, opt-in *)
+  chunks : (int, chunk) Hashtbl.t;            (* every non-top chunk, by addr *)
+  mm_chunks : (int, int) Hashtbl.t;           (* direct-mmapped: chunk addr -> mapped len *)
+  top : top;
+  mutable seg_base : int;                     (* -1 until the first growth *)
+  mutable initialized : bool;
+}
+
+let nbins = 96
+
+let small_limit = 512
+
+(* Small bins: exact 8-byte spacing for chunk sizes 16..511 -> indexes
+   0..61. Large bins: four per size doubling, dlmalloc style. *)
+let bin_index size =
+  if size < small_limit then (size - min_chunk_bytes) / align
+  else begin
+    let rec find idx lo width =
+      if idx >= nbins - 1 then nbins - 1
+      else begin
+        (* Bins [idx .. idx+3] cover [lo, 2*lo) in four steps of [width];
+           clamp at the catch-all last bin (giant coalesced regions). *)
+        let doubling_end = 2 * lo in
+        if size < doubling_end then min (nbins - 1) (idx + ((size - lo) / width))
+        else find (idx + 4) doubling_end (width * 2)
+      end
+    in
+    find 62 small_limit (small_limit / 4)
+  end
+
+let is_small size = size < small_limit
+
+let small_bin_count = (small_limit - min_chunk_bytes) / align  (* bins 0..61 *)
+
+(* Fastbins: chunk sizes 16..80, 8-byte spacing (glibc 2.3's fast path,
+   modelled here as the opt-in evolution the ablate-fastbins bench
+   studies). Fastbin chunks stay marked in use so neighbours never
+   coalesce with them; consolidation happens in bulk when the heap must
+   otherwise grow. *)
+let fastbin_limit = 80
+
+let nfastbins = ((fastbin_limit - min_chunk_bytes) / align) + 1
+
+let fastbin_index size = (size - min_chunk_bytes) / align
+
+let fastbin_cycles = 85
+
+let chunk_size_for request = max min_chunk_bytes ((request + header_bytes + align - 1) / align * align)
+
+let create_main proc ~costs ~params ~stats =
+  { proc;
+    costs;
+    params;
+    stats;
+    kind = Main;
+    bins = Array.make nbins None;
+    fastbins = Array.make nfastbins None;
+    chunks = Hashtbl.create 256;
+    mm_chunks = Hashtbl.create 16;
+    top = { taddr = 0; tsize = 0; tprev_size = 0 };
+    seg_base = -1;
+    initialized = false;
+  }
+
+let create_sub ctx ~costs ~params ~stats =
+  match M.mmap ctx ~len:params.sub_heap_bytes with
+  | None -> None
+  | Some region_base ->
+      let t =
+        { proc = M.proc ctx;
+          costs;
+          params;
+          stats;
+          kind = Sub { region_base; region_len = params.sub_heap_bytes; sub_brk = region_base };
+          bins = Array.make nbins None;
+          fastbins = Array.make nfastbins None;
+          chunks = Hashtbl.create 256;
+          mm_chunks = Hashtbl.create 16;
+          top = { taddr = region_base; tsize = 0; tprev_size = 0 };
+          seg_base = region_base;
+          initialized = true;
+        }
+      in
+      stats.Astats.arenas_created <- stats.Astats.arenas_created + 1;
+      Some t
+
+(* --- bin list management ------------------------------------------------ *)
+
+let unlink t c =
+  (match c.bk with
+  | Some b -> b.fd <- c.fd
+  | None -> t.bins.(c.bin) <- c.fd);
+  (match c.fd with Some f -> f.bk <- c.bk | None -> ());
+  c.fd <- None;
+  c.bk <- None;
+  c.bin <- -1
+
+(* Insert into its bin: small bins are LIFO; large bins are kept sorted
+   ascending by size so the first fitting chunk is the best fit. Returns
+   the number of list nodes examined (charged by the caller). *)
+let bin_insert t c =
+  let idx = bin_index c.size in
+  c.bin <- idx;
+  if is_small c.size then begin
+    (match t.bins.(idx) with
+    | Some head ->
+        head.bk <- Some c;
+        c.fd <- Some head
+    | None -> ());
+    t.bins.(idx) <- Some c;
+    1
+  end
+  else begin
+    let rec walk probes prev cur =
+      match cur with
+      | Some node when node.size < c.size -> walk (probes + 1) cur node.fd
+      | _ ->
+          c.fd <- cur;
+          c.bk <- prev;
+          (match cur with Some node -> node.bk <- Some c | None -> ());
+          (match prev with Some node -> node.fd <- Some c | None -> t.bins.(idx) <- Some c);
+          probes
+    in
+    walk 1 None t.bins.(idx)
+  end
+
+(* --- boundary-tag helpers ---------------------------------------------- *)
+
+let top_end t = t.top.taddr + t.top.tsize
+
+(* Record that the chunk starting at [addr] now follows one of [size]
+   bytes. [addr] may be the top chunk or beyond the segment end. *)
+let set_prev_size t addr size =
+  if addr = t.top.taddr then t.top.tprev_size <- size
+  else
+    match Hashtbl.find_opt t.chunks addr with
+    | Some c -> c.prev_size <- size
+    | None -> ()  (* beyond the segment end *)
+
+let prev_chunk t c =
+  if c.prev_size = 0 then None
+  else Hashtbl.find_opt t.chunks (c.addr - c.prev_size)
+
+(* --- growth -------------------------------------------------------------- *)
+
+(* Extend the top chunk by at least [need] bytes; false when this heap's
+   backing cannot grow further. *)
+let grow_top t ctx need =
+  match t.kind with
+  | Main -> begin
+      let request = (need + t.params.top_pad + 4095) / 4096 * 4096 in
+      match M.sbrk ctx request with
+      | Some base ->
+          if not t.initialized then begin
+            t.seg_base <- base;
+            t.top.taddr <- base;
+            t.top.tsize <- 0;
+            t.initialized <- true
+          end;
+          (* sbrk growth is contiguous with the previous break. *)
+          t.top.tsize <- t.top.tsize + request;
+          true
+      | None ->
+          t.stats.Astats.grow_failures <- t.stats.Astats.grow_failures + 1;
+          false
+    end
+  | Sub s ->
+      let limit = s.region_base + s.region_len in
+      let request = min (limit - s.sub_brk) (max need t.params.top_pad) in
+      if request < need then begin
+        t.stats.Astats.grow_failures <- t.stats.Astats.grow_failures + 1;
+        false
+      end
+      else begin
+        s.sub_brk <- s.sub_brk + request;
+        t.top.tsize <- t.top.tsize + request;
+        true
+      end
+
+(* Give back an oversized main-heap top via a negative sbrk; sub-heaps
+   keep their reservation (as early ptmalloc did). *)
+let maybe_trim t ctx =
+  match t.kind with
+  | Sub _ -> ()
+  | Main ->
+      if t.initialized && t.top.tsize > t.params.trim_threshold then begin
+        let keep = t.params.top_pad in
+        let release = (t.top.tsize - keep) / 4096 * 4096 in
+        if release > 0 then
+          match M.sbrk ctx (-release) with
+          | Some _ -> t.top.tsize <- t.top.tsize - release
+          | None -> ()
+      end
+
+(* --- malloc -------------------------------------------------------------- *)
+
+let charge_probes t ctx probes = if probes > 0 then M.work ctx (Costs.apply t.costs (t.costs.Costs.bin_probe * probes))
+
+(* Split [size] bytes off the front of a free (unlinked) chunk; the
+   remainder goes back to a bin. *)
+let split_chunk t ctx c size =
+  let rem_size = c.size - size in
+  if rem_size >= min_chunk_bytes then begin
+    let rem =
+      { addr = c.addr + size;
+        size = rem_size;
+        is_free = true;
+        prev_size = size;
+        fd = None;
+        bk = None;
+        bin = -1;
+        in_fastbin = false;
+      }
+    in
+    c.size <- size;
+    Hashtbl.replace t.chunks rem.addr rem;
+    set_prev_size t (rem.addr + rem.size) rem.size;
+    let probes = bin_insert t rem in
+    M.work ctx (Costs.apply t.costs t.costs.Costs.split);
+    charge_probes t ctx probes;
+    M.write_mem ctx rem.addr
+  end
+
+(* Take [size] bytes from the bottom of the wilderness. *)
+let carve_top t ctx size =
+  let c =
+    { addr = t.top.taddr;
+      size;
+      is_free = false;
+      prev_size = t.top.tprev_size;
+      fd = None;
+      bk = None;
+      bin = -1;
+      in_fastbin = false;
+    }
+  in
+  t.top.taddr <- t.top.taddr + size;
+  t.top.tsize <- t.top.tsize - size;
+  t.top.tprev_size <- size;
+  Hashtbl.replace t.chunks c.addr c;
+  M.write_mem ctx c.addr;
+  c
+
+(* Accounting convention: live/requested bytes are counted as usable
+   bytes (chunk size minus header) on both malloc and free, so the two
+   sides always balance. *)
+let malloc_mmapped t ctx csize =
+  let len = (csize + 4095) / 4096 * 4096 in
+  match M.mmap ctx ~len with
+  | None -> None
+  | Some addr ->
+      Hashtbl.replace t.mm_chunks addr len;
+      t.stats.Astats.mmapped_chunks <- t.stats.Astats.mmapped_chunks + 1;
+      M.write_mem ctx addr;
+      Astats.record_malloc t.stats (len - header_bytes);
+      Some (addr + header_bytes)
+
+(* Coalesce a newly freed chunk with its neighbours and bin it (or merge
+   it into the wilderness). [c.is_free] must already be set. *)
+let coalesce_and_bin t ctx c =
+  (* Coalesce backward. *)
+  let c =
+    match prev_chunk t c with
+    | Some p when p.is_free ->
+        unlink t p;
+        Hashtbl.remove t.chunks c.addr;
+        p.size <- p.size + c.size;
+        set_prev_size t (p.addr + p.size) p.size;
+        M.work ctx (Costs.apply t.costs t.costs.Costs.coalesce);
+        M.write_mem ctx p.addr;
+        p
+    | Some _ | None -> c
+  in
+  (* Coalesce forward, possibly into the wilderness. *)
+  let next_addr = c.addr + c.size in
+  if next_addr = t.top.taddr then begin
+    Hashtbl.remove t.chunks c.addr;
+    t.top.taddr <- c.addr;
+    t.top.tsize <- t.top.tsize + c.size;
+    t.top.tprev_size <- c.prev_size;
+    M.work ctx (Costs.apply t.costs t.costs.Costs.coalesce);
+    M.write_mem ctx c.addr;
+    maybe_trim t ctx
+  end
+  else begin
+    (match Hashtbl.find_opt t.chunks next_addr with
+    | Some n when n.is_free ->
+        unlink t n;
+        Hashtbl.remove t.chunks n.addr;
+        c.size <- c.size + n.size;
+        set_prev_size t (c.addr + c.size) c.size;
+        M.work ctx (Costs.apply t.costs t.costs.Costs.coalesce)
+    | Some _ | None -> ());
+    let probes = bin_insert t c in
+    charge_probes t ctx probes;
+    M.write_mem ctx c.addr
+  end
+
+(* Drain every fastbin through the normal coalescing path — what glibc's
+   malloc_consolidate does before growing the heap. Returns the number
+   of chunks consolidated. *)
+let consolidate_fastbins t ctx =
+  let drained = ref 0 in
+  for i = 0 to nfastbins - 1 do
+    let rec drain node =
+      match node with
+      | None -> ()
+      | Some c ->
+          let next = c.fd in
+          c.fd <- None;
+          c.in_fastbin <- false;
+          c.is_free <- true;
+          incr drained;
+          coalesce_and_bin t ctx c;
+          drain next
+    in
+    drain t.fastbins.(i);
+    t.fastbins.(i) <- None
+  done;
+  !drained
+
+(* Scan bins at [idx] and above for the first chunk of at least [csize];
+   large bins are sorted so the first fit within a bin is best. *)
+let search_bins t idx csize =
+  let probes = ref 0 in
+  let found = ref None in
+  let i = ref idx in
+  while !found = None && !i < nbins do
+    (match t.bins.(!i) with
+    | None -> ()
+    | Some head ->
+        incr probes;
+        let rec walk node =
+          match node with
+          | None -> ()
+          | Some c ->
+              incr probes;
+              if c.size >= csize then found := Some c else walk c.fd
+        in
+        if !i < small_bin_count then begin
+          (* Exact-spacing bin: the head always fits if the bin is right. *)
+          if head.size >= csize then found := Some head
+        end
+        else walk (Some head));
+    incr i
+  done;
+  (!found, !probes)
+
+let malloc t ctx request =
+  if request <= 0 then invalid_arg "Dlheap.malloc: size <= 0";
+  let csize = chunk_size_for request in
+  if
+    t.params.use_fastbins && csize <= fastbin_limit && t.fastbins.(fastbin_index csize) <> None
+  then begin
+    (* glibc fast path: exact-size LIFO pop, no unlink or split work —
+       charged instead of, not on top of, the regular malloc path. *)
+    match t.fastbins.(fastbin_index csize) with
+    | Some c ->
+        t.fastbins.(fastbin_index csize) <- c.fd;
+        c.fd <- None;
+        c.in_fastbin <- false;
+        M.work ctx (Costs.apply t.costs fastbin_cycles);
+        M.write_mem ctx c.addr;
+        Astats.record_malloc t.stats (c.size - header_bytes);
+        Some (c.addr + header_bytes)
+    | None -> assert false
+  end
+  else if csize >= t.params.mmap_threshold then begin
+    M.work ctx (Costs.apply t.costs t.costs.Costs.malloc_base);
+    malloc_mmapped t ctx csize
+  end
+  else begin
+    M.work ctx (Costs.apply t.costs t.costs.Costs.malloc_base);
+    let idx = bin_index csize in
+    let found, probes = search_bins t idx csize in
+    charge_probes t ctx probes;
+    match found with
+    | Some c ->
+        unlink t c;
+        c.is_free <- false;
+        split_chunk t ctx c csize;
+        M.write_mem ctx c.addr;
+        Astats.record_malloc t.stats (c.size - header_bytes);
+        Some (c.addr + header_bytes)
+    | None ->
+        (* Nothing binned fits: use the wilderness, growing it if needed. *)
+        if t.top.tsize >= csize + min_chunk_bytes then begin
+          let c = carve_top t ctx csize in
+          Astats.record_malloc t.stats (c.size - header_bytes);
+          Some (c.addr + header_bytes)
+        end
+        else if t.params.use_fastbins && consolidate_fastbins t ctx > 0 then begin
+          (* glibc consolidates the fastbins before growing the heap;
+             retry the bins with the coalesced chunks available. *)
+          let found, probes = search_bins t idx csize in
+          charge_probes t ctx probes;
+          match found with
+          | Some c ->
+              unlink t c;
+              c.is_free <- false;
+              split_chunk t ctx c csize;
+              M.write_mem ctx c.addr;
+              Astats.record_malloc t.stats (c.size - header_bytes);
+              Some (c.addr + header_bytes)
+          | None ->
+              if t.top.tsize >= csize + min_chunk_bytes || grow_top t ctx (csize + min_chunk_bytes)
+              then begin
+                let c = carve_top t ctx csize in
+                Astats.record_malloc t.stats (c.size - header_bytes);
+                Some (c.addr + header_bytes)
+              end
+              else begin
+                match t.kind with
+                | Main -> malloc_mmapped t ctx csize
+                | Sub _ -> None
+              end
+        end
+        else if grow_top t ctx (csize + min_chunk_bytes) then begin
+          let c = carve_top t ctx csize in
+          Astats.record_malloc t.stats (c.size - header_bytes);
+          Some (c.addr + header_bytes)
+        end
+        else begin
+          match t.kind with
+          | Main when t.params.mmap_fallback ->
+              (* The brk hit a mapping: fall back to mmap for this
+                 request, as glibc does after 2.1.3. *)
+              malloc_mmapped t ctx csize
+          | Main | Sub _ -> None
+        end
+  end
+
+(* --- free ---------------------------------------------------------------- *)
+
+let free t ctx user =
+  let caddr = user - header_bytes in
+  if Hashtbl.mem t.mm_chunks caddr then begin
+    M.work ctx (Costs.apply t.costs t.costs.Costs.free_base);
+    let len = Hashtbl.find t.mm_chunks caddr in
+    Hashtbl.remove t.mm_chunks caddr;
+    M.munmap ctx caddr ~len;
+    Astats.record_free t.stats (len - header_bytes)
+  end
+  else begin
+    let c =
+      match Hashtbl.find_opt t.chunks caddr with
+      | Some c -> c
+      | None -> invalid_arg "Dlheap.free: address not owned by this heap"
+    in
+    if c.is_free then invalid_arg "Dlheap.free: double free";
+    if c.in_fastbin then invalid_arg "Dlheap.free: double free (fastbin)";
+    M.read_mem ctx c.addr;
+    Astats.record_free t.stats (c.size - header_bytes);
+    if t.params.use_fastbins && c.size <= fastbin_limit then begin
+      (* Fast path: no coalescing, the chunk stays marked in use. *)
+      M.work ctx (Costs.apply t.costs fastbin_cycles);
+      let idx = fastbin_index c.size in
+      c.in_fastbin <- true;
+      c.fd <- t.fastbins.(idx);
+      t.fastbins.(idx) <- Some c;
+      M.write_mem ctx c.addr
+    end
+    else begin
+      M.work ctx (Costs.apply t.costs t.costs.Costs.free_base);
+      c.is_free <- true;
+      coalesce_and_bin t ctx c
+    end
+  end
+
+(* --- queries -------------------------------------------------------------- *)
+
+let owns t user =
+  let caddr = user - header_bytes in
+  if Hashtbl.mem t.mm_chunks caddr then true
+  else
+    match t.kind with
+    | Main -> t.initialized && caddr >= t.seg_base && caddr < top_end t
+    | Sub s -> caddr >= s.region_base && caddr < s.region_base + s.region_len
+
+let usable_size t user =
+  let caddr = user - header_bytes in
+  match Hashtbl.find_opt t.mm_chunks caddr with
+  | Some len -> len - header_bytes
+  | None -> (
+      match Hashtbl.find_opt t.chunks caddr with
+      | Some c -> c.size - header_bytes
+      | None -> invalid_arg "Dlheap.usable_size: unknown address")
+
+let is_sub t = match t.kind with Main -> false | Sub _ -> true
+
+let segment_bounds t = if t.initialized then (t.seg_base, top_end t) else (0, 0)
+
+let top_bytes t = t.top.tsize
+
+let free_bytes t =
+  Hashtbl.fold (fun _ c acc -> if c.is_free then acc + c.size else acc) t.chunks 0
+
+let live_chunks t =
+  Hashtbl.fold (fun _ c acc -> if c.is_free then acc else acc + 1) t.chunks 0
+
+let used_bytes t =
+  Hashtbl.fold (fun _ c acc -> if c.is_free then acc else acc + c.size) t.chunks 0
+
+let mmapped_bytes t = Hashtbl.fold (fun _ len acc -> acc + len) t.mm_chunks 0
+
+let mmapped_count t = Hashtbl.length t.mm_chunks
+
+let set_params t params = t.params <- params
+
+let fastbin_chunks t =
+  let count = ref 0 in
+  Array.iter
+    (fun head ->
+      let rec walk = function None -> () | Some c -> incr count; walk c.fd in
+      walk head)
+    t.fastbins;
+  !count
+
+let consolidate = consolidate_fastbins
+
+let params t = t.params
+
+(* --- validation ------------------------------------------------------------ *)
+
+let validate t =
+  let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  let check_segment () =
+    if not t.initialized then Ok ()
+    else begin
+      let rec walk addr prev_size prev_free =
+        if addr = t.top.taddr then
+          if t.top.tprev_size <> prev_size then
+            fail "top.prev_size=%d but previous chunk has size %d" t.top.tprev_size prev_size
+          else Ok ()
+        else if addr > t.top.taddr then fail "chunk walk overshot top at 0x%x" addr
+        else
+          match Hashtbl.find_opt t.chunks addr with
+          | None -> fail "segment hole at 0x%x" addr
+          | Some c ->
+              if c.size < min_chunk_bytes then fail "undersized chunk at 0x%x" addr
+              else if c.size mod align <> 0 then fail "misaligned size at 0x%x" addr
+              else if c.prev_size <> prev_size then
+                fail "bad boundary tag at 0x%x: prev_size=%d, actual=%d" addr c.prev_size prev_size
+              else if c.is_free && prev_free then fail "adjacent free chunks at 0x%x" addr
+              else if c.is_free && c.bin < 0 then fail "free chunk at 0x%x not in a bin" addr
+              else if (not c.is_free) && c.bin >= 0 then fail "live chunk at 0x%x still binned" addr
+              else walk (addr + c.size) c.size c.is_free
+      in
+      walk t.seg_base 0 false
+    end
+  in
+  let same_chunk a b =
+    match (a, b) with None, None -> true | Some x, Some y -> x == y | Some _, None | None, Some _ -> false
+  in
+  let check_bins () =
+    let rec check_bin idx =
+      if idx >= nbins then Ok ()
+      else begin
+        let rec walk prev node last_size count =
+          match node with
+          | None -> Ok count
+          | Some c ->
+              if not c.is_free then fail "bin %d holds live chunk 0x%x" idx c.addr
+              else if c.bin <> idx then fail "chunk 0x%x in bin %d but tagged %d" c.addr idx c.bin
+              else if bin_index c.size <> idx then
+                fail "chunk 0x%x (size %d) misfiled in bin %d" c.addr c.size idx
+              else if not (same_chunk c.bk prev) then fail "broken back link at 0x%x in bin %d" c.addr idx
+              else if (not (is_small c.size)) && c.size < last_size then
+                fail "large bin %d unsorted at 0x%x" idx c.addr
+              else walk node c.fd c.size (count + 1)
+        in
+        match walk None t.bins.(idx) 0 0 with
+        | Error _ as e -> e
+        | Ok _ -> check_bin (idx + 1)
+      end
+    in
+    check_bin 0
+  in
+  let check_counts () =
+    let binned = ref 0 in
+    Array.iter
+      (fun head ->
+        let rec count node = match node with None -> () | Some c -> incr binned; count c.fd in
+        count head)
+      t.bins;
+    let free_chunks = Hashtbl.fold (fun _ c acc -> if c.is_free then acc + 1 else acc) t.chunks 0 in
+    if !binned <> free_chunks then fail "%d free chunks but %d binned" free_chunks !binned
+    else Ok ()
+  in
+  let check_fastbins () =
+    let bad = ref None in
+    Array.iteri
+      (fun i head ->
+        let rec walk = function
+          | None -> ()
+          | Some c ->
+              if !bad = None then begin
+                if not c.in_fastbin then
+                  bad := Some (Printf.sprintf "fastbin %d holds untagged chunk 0x%x" i c.addr)
+                else if c.is_free then bad := Some (Printf.sprintf "fastbin chunk 0x%x marked free" c.addr)
+                else if c.size > fastbin_limit then
+                  bad := Some (Printf.sprintf "oversized fastbin chunk 0x%x" c.addr)
+                else if fastbin_index c.size <> i then
+                  bad := Some (Printf.sprintf "fastbin chunk 0x%x misfiled" c.addr)
+              end;
+              walk c.fd
+        in
+        walk head)
+      t.fastbins;
+    match !bad with Some m -> Error m | None -> Ok ()
+  in
+  match check_segment () with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_bins () with
+      | Error _ as e -> e
+      | Ok () -> ( match check_counts () with Error _ as e -> e | Ok () -> check_fastbins ()))

@@ -1,0 +1,110 @@
+(** A Doug Lea-style heap arena over simulated memory.
+
+    This is the building block under both glibc's ptmalloc (one {!t} per
+    arena) and the Solaris-model serial allocator (one {!t} under one
+    lock): boundary-tagged chunks, exact-fit small bins plus sorted
+    large bins, split and coalesce, a wilderness ("top") chunk extended
+    by [sbrk] (main heap) or carved from a pre-mapped region (sub-heap),
+    direct [mmap] for requests at or above the threshold — the paper's
+    "sbrk for allocations smaller than 32 pages, mmap for larger" — and
+    an [mmap] fallback when [sbrk] hits a pre-existing mapping (the
+    post-2.1.3 glibc behaviour discussed in section 3).
+
+    A heap performs no locking; callers serialize access (that division
+    of labour is exactly glibc's). All operations consume simulated time
+    on the calling thread and fault pages on first touch. *)
+
+type t
+
+type params = {
+  mmap_threshold : int;     (** requests >= this go to direct mmap (bytes) *)
+  trim_threshold : int;     (** main-heap top larger than this is returned via negative sbrk *)
+  top_pad : int;            (** extra bytes requested on each top extension *)
+  sub_heap_bytes : int;     (** region size reserved for each sub-heap *)
+  use_fastbins : bool;      (** glibc-2.3-style fast path: frees of chunks up to 80 bytes skip coalescing into per-size LIFO caches, consolidated in bulk before the heap would otherwise grow. Off by default — the study's subject is the 2.0/2.1 allocator; the [ablate-fastbins] bench measures what the evolution buys *)
+  mmap_fallback : bool;     (** retry a failed [sbrk] arena growth with [mmap], the post-2.1.3 glibc behaviour the paper's section 3 describes; turning it off models the older libc that simply fails when the brk hits a mapping *)
+}
+
+val default_params : params
+(** 32-page mmap threshold (the paper's figure), 128 KB trim threshold,
+    4 KB top pad, 1 MB sub-heaps (early ptmalloc's HEAP_MAX_SIZE),
+    fastbins off. *)
+
+val fastbin_limit : int
+(** Largest chunk size served by the fastbin path (80). *)
+
+val fastbin_chunks : t -> int
+(** Chunks currently parked in fastbins. *)
+
+val consolidate : t -> Mb_machine.Machine.ctx -> int
+(** Drain the fastbins through the normal coalescing path (glibc's
+    [malloc_consolidate]); returns the number of chunks drained. *)
+
+val header_bytes : int
+(** Per-chunk bookkeeping overhead (8, as in dlmalloc). *)
+
+val min_chunk_bytes : int
+
+val create_main : Mb_machine.Machine.proc -> costs:Costs.t -> params:params -> stats:Astats.t -> t
+(** The process's primary heap, growing at the break. Lazy: the first
+    allocation performs the initial [sbrk]. *)
+
+val create_sub :
+  Mb_machine.Machine.ctx -> costs:Costs.t -> params:params -> stats:Astats.t -> t option
+(** A ptmalloc-style sub-heap: reserves [sub_heap_bytes] of address space
+    with [mmap] immediately (hence needs a running thread) and carves its
+    top chunk from it. [None] if the address space is exhausted. *)
+
+val malloc : t -> Mb_machine.Machine.ctx -> int -> int option
+(** [malloc t ctx size] returns the user address of a block of at least
+    [size] bytes, or [None] if this heap cannot satisfy it (sub-heap
+    region full, or main heap blocked by both the brk ceiling and mmap
+    exhaustion). [size] must be positive. *)
+
+val free : t -> Mb_machine.Machine.ctx -> int -> unit
+(** Releases a block owned by this heap.
+    @raise Invalid_argument on an address this heap does not own or a
+    double free. *)
+
+val owns : t -> int -> bool
+(** Whether a user address lies in this heap's segment or one of its
+    direct-mmapped chunks. How ptmalloc routes [free] to the right
+    arena. *)
+
+val usable_size : t -> int -> int
+(** Reserved bytes behind a user address (>= the requested size). *)
+
+(** {1 Introspection (tests, reports)} *)
+
+val is_sub : t -> bool
+
+val segment_bounds : t -> int * int
+(** Current [base, end) of the contiguous chunk segment. *)
+
+val top_bytes : t -> int
+(** Size of the wilderness chunk. *)
+
+val free_bytes : t -> int
+(** Bytes in binned free chunks (excluding top). *)
+
+val live_chunks : t -> int
+
+val used_bytes : t -> int
+(** Bytes held by allocated chunks (headers included), excluding
+    direct-mmapped blocks. *)
+
+val mmapped_bytes : t -> int
+(** Bytes in live direct-mmapped chunks. *)
+
+val mmapped_count : t -> int
+
+val set_params : t -> params -> unit
+(** Replace the tunables (the [mallopt] path); affects subsequent
+    operations only. *)
+
+val params : t -> params
+
+val validate : t -> (unit, string) result
+(** Full structural check: the segment tiles exactly into chunks,
+    boundary tags agree, no two adjacent free chunks, bin lists
+    well-formed and correctly populated, large bins sorted. *)

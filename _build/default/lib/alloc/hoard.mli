@@ -1,0 +1,53 @@
+(** The Hoard allocator (Berger & Blumofe, TR-99-22), the scalable
+    multiprocessor design the paper's sections 2 and 6 cite — and the
+    kind of allocator behind the iPlanet fix.
+
+    Structure, following the tech report:
+
+    - memory is carved from fixed-size {e superblocks} (8 KB), each
+      dedicated to one size class;
+    - each thread hashes to one of [heap_count] per-thread heaps; heap 0
+      is the global heap. Every heap has its own lock, so threads
+      contend only when they hash together or exchange superblocks;
+    - [malloc] takes a free block from a superblock owned by the
+      thread's heap, pulling a superblock from the global heap (or
+      [mmap]) only when the heap has none with space;
+    - [free] returns the block to its {e owning} superblock whichever
+      thread calls it, so producer/consumer patterns cannot orphan
+      memory — the failure benchmark 2 measures in ptmalloc;
+    - the {e emptiness invariant}: when a heap's in-use fraction drops
+      below [1 - empty_fraction] and it holds more than [slack]
+      superblocks of slack, its emptiest superblock moves to the global
+      heap, bounding blowup to a constant factor of live data. *)
+
+type t
+
+val make :
+  Mb_machine.Machine.proc ->
+  ?costs:Costs.t ->
+  ?heap_count:int ->
+  ?superblock_bytes:int ->
+  ?empty_fraction:float ->
+  ?slack:int ->
+  unit ->
+  t
+(** Defaults: one heap per CPU plus the global heap, 8 KB superblocks,
+    empty fraction 1/4, slack 4 — the tech report's parameters. *)
+
+val allocator : t -> Allocator.t
+
+val superblock_count : t -> int
+(** Superblocks currently mapped (all heaps). *)
+
+val global_superblocks : t -> int
+(** Superblocks parked on the global heap. *)
+
+val transfers_to_global : t -> int
+(** Times the emptiness invariant moved a superblock to heap 0. *)
+
+val held_bytes : t -> int
+(** Total bytes of mapped superblocks — the quantity Hoard's blowup
+    bound constrains. *)
+
+val heap_of_thread : t -> int -> int
+(** Which heap a thread id hashes to (1-based; 0 is the global heap). *)

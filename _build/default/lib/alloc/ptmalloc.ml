@@ -1,0 +1,284 @@
+module M = Mb_machine.Machine
+module Rng = Mb_prng.Rng
+
+type arena = {
+  heap : Dlheap.t;
+  mutex : M.Mutex.t;
+  descriptor : int;  (* hot lock word; written on every op under the lock *)
+  aindex : int;
+}
+
+type t = {
+  proc : M.proc;
+  costs : Costs.t;
+  mutable params : Dlheap.params;
+  stats : Astats.t;
+  mutable arenas : arena array;     (* creation order; main arena first *)
+  tl_arena : (int, arena) Hashtbl.t;  (* thread id -> last-used arena *)
+  mutable meta_base : int;          (* descriptor region; -1 until mapped *)
+  meta_phase : int;                 (* per-run layout phase, 0..31 *)
+  max_arenas : int option;
+  mutable arenas_reserved : int;    (* slots claimed, including in-flight
+                                       creations that have not yet been
+                                       appended — guards the cap across
+                                       the time arena setup consumes *)
+  arena_init_cycles : int;
+}
+
+let descriptor_stride = 16
+
+let main_descriptor = M.libc_data_address + 0x200
+
+let make proc ?(costs = Costs.glibc) ?(params = Dlheap.default_params) ?max_arenas () =
+  let stats = Astats.create () in
+  let main_heap = Dlheap.create_main proc ~costs ~params ~stats in
+  let machine = M.proc_machine proc in
+  let main =
+    { heap = main_heap;
+      mutex = M.Mutex.create machine ~name:"arena-0" ();
+      descriptor = main_descriptor;
+      aindex = 0;
+    }
+  in
+  stats.Astats.arenas_created <- 1;
+  { proc;
+    costs;
+    params;
+    stats;
+    arenas = [| main |];
+    tl_arena = Hashtbl.create 16;
+    meta_base = -1;
+    meta_phase = Rng.int (M.rng machine) 32;
+    max_arenas;
+    arenas_reserved = 1;
+    arena_init_cycles = 2500;
+  }
+
+let arena_count t = Array.length t.arenas
+
+let arena_of_thread t tid =
+  match Hashtbl.find_opt t.tl_arena tid with Some a -> Some a.aindex | None -> None
+
+let arena_live_chunks t = Array.to_list (Array.map (fun a -> Dlheap.live_chunks a.heap) t.arenas)
+
+let arena_free_bytes t = Array.to_list (Array.map (fun a -> Dlheap.free_bytes a.heap) t.arenas)
+
+let heap_bytes t =
+  Array.fold_left
+    (fun acc a ->
+      let base, stop = Dlheap.segment_bounds a.heap in
+      acc + (stop - base))
+    0 t.arenas
+
+(* Create a fresh arena, append it to the list, and return it. Its
+   descriptor is packed at [meta_base + phase + 16 * (index - 1)], so two
+   consecutively created arenas may share a cache line depending on the
+   per-run phase — the Table 4 sloshing model. *)
+let create_arena t ctx =
+  (* Claim the slot before consuming any simulated time, or two threads
+     could both pass the cap check while one is mid-creation. *)
+  match t.max_arenas with
+  | Some cap when t.arenas_reserved >= cap -> None
+  | Some _ | None -> (
+      let aindex = t.arenas_reserved in
+      t.arenas_reserved <- aindex + 1;
+      M.work ctx (Costs.apply t.costs t.arena_init_cycles);
+      if t.meta_base < 0 then begin
+        match M.mmap ctx ~len:4096 with
+        | Some base -> if t.meta_base < 0 then t.meta_base <- base
+        | None -> Allocator.out_of_memory "ptmalloc (arena metadata)"
+      end;
+      match Dlheap.create_sub ctx ~costs:t.costs ~params:t.params ~stats:t.stats with
+      | None ->
+          t.arenas_reserved <- t.arenas_reserved - 1;
+          None
+      | Some heap ->
+          let arena =
+            { heap;
+              mutex = M.Mutex.create (M.proc_machine t.proc) ~name:(Printf.sprintf "arena-%d" aindex) ();
+              descriptor = t.meta_base + t.meta_phase + (descriptor_stride * (aindex - 1));
+              aindex;
+            }
+          in
+          t.arenas <- Array.append t.arenas [| arena |];
+          Some arena)
+
+(* The heart of ptmalloc: find an arena we can lock without waiting.
+   Returns with the arena's mutex held. *)
+let acquire_arena t ctx =
+  let tid = M.tid ctx in
+  let preferred = match Hashtbl.find_opt t.tl_arena tid with Some a -> a | None -> t.arenas.(0) in
+  if M.Mutex.try_lock preferred.mutex ctx then preferred
+  else begin
+    t.stats.Astats.contended_ops <- t.stats.Astats.contended_ops + 1;
+    let rec scan i =
+      if i >= Array.length t.arenas then None
+      else begin
+        let a = t.arenas.(i) in
+        if a != preferred then begin
+          M.work ctx (Costs.apply t.costs t.costs.Costs.bin_probe);
+          if M.Mutex.try_lock a.mutex ctx then Some a else scan (i + 1)
+        end
+        else scan (i + 1)
+      end
+    in
+    match scan 0 with
+    | Some a -> a
+    | None -> (
+        match create_arena t ctx with
+        | Some a ->
+            if not (M.Mutex.try_lock a.mutex ctx) then
+              invalid_arg "ptmalloc: fresh arena unexpectedly locked";
+            a
+        | None ->
+            (* Cannot create more arenas (cap or exhaustion): wait for
+               the preferred one. *)
+            M.Mutex.lock preferred.mutex ctx;
+            preferred)
+  end
+
+let remember t ctx arena =
+  let tid = M.tid ctx in
+  (match Hashtbl.find_opt t.tl_arena tid with
+  | Some prev when prev == arena -> ()
+  | Some _ -> t.stats.Astats.arena_switches <- t.stats.Astats.arena_switches + 1
+  | None -> ());
+  Hashtbl.replace t.tl_arena tid arena
+
+let rec malloc_with t ctx arena size attempts =
+  M.write_mem ctx arena.descriptor;
+  match Dlheap.malloc arena.heap ctx size with
+  | Some user ->
+      M.Mutex.unlock arena.mutex ctx;
+      remember t ctx arena;
+      user
+  | None ->
+      (* This arena's region is full: move to a fresh arena (bounded
+         retries so address-space exhaustion terminates). *)
+      M.Mutex.unlock arena.mutex ctx;
+      if attempts >= 3 then Allocator.out_of_memory "ptmalloc"
+      else begin
+        match create_arena t ctx with
+        | Some fresh ->
+            if not (M.Mutex.try_lock fresh.mutex ctx) then
+              invalid_arg "ptmalloc: fresh arena unexpectedly locked";
+            malloc_with t ctx fresh size (attempts + 1)
+        | None -> Allocator.out_of_memory "ptmalloc"
+      end
+
+let malloc t ctx size =
+  let arena = acquire_arena t ctx in
+  malloc_with t ctx arena size 0
+
+let owning_arena t ctx user =
+  let n = Array.length t.arenas in
+  let rec scan i =
+    if i >= n then None
+    else begin
+      M.work ctx (Costs.apply t.costs 2);
+      if Dlheap.owns t.arenas.(i).heap user then Some t.arenas.(i) else scan (i + 1)
+    end
+  in
+  scan 0
+
+let free t ctx user =
+  match owning_arena t ctx user with
+  | None -> invalid_arg "ptmalloc.free: address not owned by any arena"
+  | Some arena ->
+      let tid = M.tid ctx in
+      (match Hashtbl.find_opt t.tl_arena tid with
+      | Some a when a != arena -> t.stats.Astats.foreign_frees <- t.stats.Astats.foreign_frees + 1
+      | Some _ -> ()
+      | None -> ());
+      (* free must take the owning arena's lock and wait if necessary. *)
+      if not (M.Mutex.try_lock arena.mutex ctx) then begin
+        t.stats.Astats.contended_ops <- t.stats.Astats.contended_ops + 1;
+        M.Mutex.lock arena.mutex ctx
+      end;
+      M.write_mem ctx arena.descriptor;
+      Dlheap.free arena.heap ctx user;
+      M.Mutex.unlock arena.mutex ctx
+
+let usable_size t user =
+  let rec scan i =
+    if i >= Array.length t.arenas then invalid_arg "ptmalloc.usable_size: unknown address"
+    else if Dlheap.owns t.arenas.(i).heap user then Dlheap.usable_size t.arenas.(i).heap user
+    else scan (i + 1)
+  in
+  scan 0
+
+let validate t =
+  let rec check i =
+    if i >= Array.length t.arenas then Ok ()
+    else
+      match Dlheap.validate t.arenas.(i).heap with
+      | Ok () -> check (i + 1)
+      | Error msg -> Error (Printf.sprintf "arena %d: %s" i msg)
+  in
+  check 0
+
+(* --- mallopt / mallinfo (paper section 3: "an application can invoke
+   mallopt(3) to enable some of these features") ------------------------ *)
+
+type tunable =
+  | Mmap_threshold of int
+  | Trim_threshold of int
+  | Top_pad of int
+  | Fastbins of bool
+
+let mallopt t tunable =
+  let params =
+    match tunable with
+    | Mmap_threshold v ->
+        if v <= 0 then invalid_arg "mallopt: M_MMAP_THRESHOLD <= 0";
+        { t.params with Dlheap.mmap_threshold = v }
+    | Trim_threshold v ->
+        if v < 0 then invalid_arg "mallopt: M_TRIM_THRESHOLD < 0";
+        { t.params with Dlheap.trim_threshold = v }
+    | Top_pad v ->
+        if v < 0 then invalid_arg "mallopt: M_TOP_PAD < 0";
+        { t.params with Dlheap.top_pad = v }
+    | Fastbins v -> { t.params with Dlheap.use_fastbins = v }
+  in
+  t.params <- params;
+  Array.iter (fun a -> Dlheap.set_params a.heap params) t.arenas
+
+type mallinfo = {
+  arena : int;      (* bytes of heap segments (brk extent + sub-heap use) *)
+  narenas : int;
+  hblks : int;      (* live direct-mmapped chunks *)
+  hblkhd : int;     (* bytes in them *)
+  uordblks : int;   (* bytes in allocated chunks *)
+  fordblks : int;   (* bytes in free chunks, including tops *)
+  keepcost : int;   (* main-arena top size (releasable via trim) *)
+}
+
+let mallinfo t =
+  let seg_bytes =
+    Array.fold_left
+      (fun acc a ->
+        let base, stop = Dlheap.segment_bounds a.heap in
+        acc + (stop - base))
+      0 t.arenas
+  in
+  { arena = seg_bytes;
+    narenas = Array.length t.arenas;
+    hblks = Array.fold_left (fun acc a -> acc + Dlheap.mmapped_count a.heap) 0 t.arenas;
+    hblkhd = Array.fold_left (fun acc a -> acc + Dlheap.mmapped_bytes a.heap) 0 t.arenas;
+    uordblks = Array.fold_left (fun acc a -> acc + Dlheap.used_bytes a.heap) 0 t.arenas;
+    fordblks =
+      Array.fold_left
+        (fun acc a -> acc + Dlheap.free_bytes a.heap + Dlheap.top_bytes a.heap)
+        0 t.arenas;
+    keepcost = Dlheap.top_bytes t.arenas.(0).heap;
+  }
+
+let allocator t =
+  { Allocator.name = "ptmalloc";
+    malloc = (fun ctx size -> malloc t ctx size);
+    free = (fun ctx user -> free t ctx user);
+    usable_size = (fun user -> usable_size t user);
+    stats = t.stats;
+    origins = Hashtbl.create 8;
+    validate = (fun () -> validate t);
+  }

@@ -1,0 +1,23 @@
+(** The single-lock allocator: one {!Dlheap} behind one process-wide
+    mutex — the structure of the Solaris 2.6 libc allocator whose Table 2
+    collapse motivates the paper, and of any "thread-safe by adding a
+    single lock" vendor malloc (section 1).
+
+    Whether the contention turns into a convoy is the machine's choice:
+    on the [dual_ultrasparc] preset (no adaptive spin) every contended
+    acquisition blocks; on a Linux preset it spins first. The
+    [ablate-spin] bench isolates exactly that difference. *)
+
+type t
+
+val make : Mb_machine.Machine.proc -> ?costs:Costs.t -> ?params:Dlheap.params -> unit -> t
+(** Costs default to {!Costs.solaris} (the paper's fastest
+    single-threaded allocator). *)
+
+val allocator : t -> Allocator.t
+
+val lock_contentions : t -> int
+
+val lock_acquisitions : t -> int
+
+val heap : t -> Dlheap.t

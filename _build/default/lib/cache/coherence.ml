@@ -1,0 +1,125 @@
+type config = {
+  line_size : int;
+  hit_cycles : int;
+  miss_cycles : int;
+  transfer_cycles : int;
+  upgrade_cycles : int;
+  ping_pong_burst : int;
+}
+
+let default_config =
+  { line_size = 32;
+    hit_cycles = 1;
+    miss_cycles = 30;
+    transfer_cycles = 40;
+    upgrade_cycles = 12;
+    ping_pong_burst = 4;
+  }
+
+module Cpu_set = Set.Make (Int)
+
+type line_state =
+  | Shared of Cpu_set.t   (* clean copies in these CPUs' caches *)
+  | Modified of int       (* dirty in exactly this CPU's cache *)
+
+type t = {
+  config : config;
+  cpus : int;
+  lines : (int, line_state) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable transfers : int;
+  mutable upgrades : int;
+}
+
+let create config ~cpus =
+  if config.line_size <= 0 then invalid_arg "Coherence.create: line_size";
+  if cpus <= 0 then invalid_arg "Coherence.create: cpus";
+  { config; cpus; lines = Hashtbl.create 4096; hits = 0; misses = 0; transfers = 0; upgrades = 0 }
+
+let config t = t.config
+
+let line_of t addr = addr / t.config.line_size
+
+let check_cpu t cpu =
+  if cpu < 0 || cpu >= t.cpus then invalid_arg "Coherence: cpu out of range"
+
+let read t ~cpu addr =
+  check_cpu t cpu;
+  let line = line_of t addr in
+  match Hashtbl.find_opt t.lines line with
+  | None ->
+      t.misses <- t.misses + 1;
+      Hashtbl.replace t.lines line (Shared (Cpu_set.singleton cpu));
+      t.config.miss_cycles
+  | Some (Shared set) when Cpu_set.mem cpu set ->
+      t.hits <- t.hits + 1;
+      t.config.hit_cycles
+  | Some (Shared set) ->
+      t.misses <- t.misses + 1;
+      Hashtbl.replace t.lines line (Shared (Cpu_set.add cpu set));
+      t.config.miss_cycles
+  | Some (Modified owner) when owner = cpu ->
+      t.hits <- t.hits + 1;
+      t.config.hit_cycles
+  | Some (Modified owner) ->
+      (* Dirty elsewhere: cache-to-cache transfer, both keep clean copies. *)
+      t.transfers <- t.transfers + 1;
+      Hashtbl.replace t.lines line (Shared (Cpu_set.of_list [ owner; cpu ]));
+      t.config.transfer_cycles
+
+let write t ~cpu addr =
+  check_cpu t cpu;
+  let line = line_of t addr in
+  match Hashtbl.find_opt t.lines line with
+  | None ->
+      t.misses <- t.misses + 1;
+      Hashtbl.replace t.lines line (Modified cpu);
+      t.config.miss_cycles
+  | Some (Modified owner) when owner = cpu ->
+      t.hits <- t.hits + 1;
+      t.config.hit_cycles
+  | Some (Modified _) ->
+      t.transfers <- t.transfers + 1;
+      Hashtbl.replace t.lines line (Modified cpu);
+      t.config.transfer_cycles
+  | Some (Shared set) ->
+      Hashtbl.replace t.lines line (Modified cpu);
+      if Cpu_set.mem cpu set && Cpu_set.cardinal set = 1 then begin
+        (* Sole sharer: a silent E->M transition, no bus traffic. *)
+        t.hits <- t.hits + 1;
+        t.config.hit_cycles
+      end
+      else begin
+        t.upgrades <- t.upgrades + 1;
+        t.config.upgrade_cycles
+      end
+
+let write_repeated t ~cpu addr ~count =
+  check_cpu t cpu;
+  if count <= 0 then invalid_arg "Coherence.write_repeated: count <= 0";
+  let line = line_of t addr in
+  match Hashtbl.find_opt t.lines line with
+  | Some (Modified owner) when owner <> cpu ->
+      (* The other CPU is writing this line too: sustained ping-pong, one
+         ownership transfer per burst of [ping_pong_burst] stores. *)
+      let burst = max 1 t.config.ping_pong_burst in
+      let transfers = (count + burst - 1) / burst in
+      t.transfers <- t.transfers + transfers;
+      t.hits <- t.hits + (count - transfers);
+      Hashtbl.replace t.lines line (Modified cpu);
+      (transfers * t.config.transfer_cycles) + ((count - transfers) * t.config.hit_cycles)
+  | _ ->
+      let first = write t ~cpu addr in
+      t.hits <- t.hits + (count - 1);
+      first + ((count - 1) * t.config.hit_cycles)
+
+let flush_line t addr = Hashtbl.remove t.lines (line_of t addr)
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let transfers t = t.transfers
+
+let upgrades t = t.upgrades

@@ -1,0 +1,66 @@
+(** Line-granularity cache-coherence cost model (simplified MESI).
+
+    Tracks, for every cache line ever accessed, whether it is unowned,
+    shared read-only among a set of CPUs, or modified (dirty) in exactly
+    one CPU's cache. Each access returns its cost in CPU cycles; the
+    machine layer charges that to the accessing thread.
+
+    This is what makes false sharing (the paper's benchmark 3) and "cache
+    sloshing" of allocator variables (Table 4) cost simulated time: a
+    write to a line that is dirty in another CPU's cache pays
+    [transfer_cycles] — the line "ping-pongs".
+
+    Capacity and associativity are not modeled: the benchmarks' working
+    sets are tiny, so coherence misses dominate, exactly as in the paper. *)
+
+type t
+
+type config = {
+  line_size : int;          (** bytes per cache line (32 on the paper's CPUs) *)
+  hit_cycles : int;         (** access to a line already owned appropriately *)
+  miss_cycles : int;        (** fill from memory *)
+  transfer_cycles : int;    (** line dirty in another CPU's cache: cache-to-cache transfer / RFO *)
+  upgrade_cycles : int;     (** write to a line held shared: invalidate other copies *)
+  ping_pong_burst : int;    (** stores a CPU retires per ownership interval when two CPUs
+                                write one line in tight loops; only {!write_repeated} uses
+                                it — store buffering makes sustained ping-pong cheaper than
+                                one transfer per store. >= 1. *)
+}
+
+val default_config : config
+(** Costs loosely modeled on late-1990s SMP x86. *)
+
+val create : config -> cpus:int -> t
+
+val config : t -> config
+
+val line_of : t -> int -> int
+(** [line_of t addr] is the cache-line index containing [addr]. *)
+
+val read : t -> cpu:int -> int -> int
+(** [read t ~cpu addr] performs a load and returns its cost in cycles. *)
+
+val write : t -> cpu:int -> int -> int
+(** [write t ~cpu addr] performs a store and returns its cost in cycles. *)
+
+val write_repeated : t -> cpu:int -> int -> count:int -> int
+(** [write_repeated t ~cpu addr ~count] models [count] stores to the same
+    address issued by a tight loop, assuming any {e other} CPU that has
+    the line dirty keeps writing it concurrently (the benchmark-3
+    situation). If the line is dirty elsewhere at batch start, every
+    store pays [transfer_cycles] (sustained ping-pong); otherwise the
+    first store pays the usual cost and the rest are hits. Returns total
+    cycles. *)
+
+val flush_line : t -> int -> unit
+(** Drop a line from all caches (e.g. when its page is unmapped). The
+    argument is an address, not a line index. *)
+
+(** {1 Statistics} *)
+
+val hits : t -> int
+val misses : t -> int
+val transfers : t -> int
+(** Number of dirty cache-to-cache transfers (each is one "ping-pong"). *)
+
+val upgrades : t -> int

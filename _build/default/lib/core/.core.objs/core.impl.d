@@ -1,0 +1,1 @@
+lib/core/core.ml: Exp_bench1 Exp_bench2 Exp_bench3 Exp_common Exp_extra Experiments Mb_alloc Mb_cache Mb_machine Mb_prng Mb_report Mb_sim Mb_stats Mb_vm Mb_workload Outcome Paper_data

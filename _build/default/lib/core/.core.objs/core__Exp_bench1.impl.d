@@ -1,0 +1,1 @@
+lib/core/exp_bench1.ml: Exp_common Format List Mb_alloc Mb_machine Mb_report Mb_stats Mb_workload Outcome Paper_data Printf String

@@ -1,0 +1,1 @@
+lib/core/exp_bench1.mli: Exp_common Outcome

@@ -1,0 +1,1 @@
+lib/core/exp_bench2.mli: Exp_common Outcome

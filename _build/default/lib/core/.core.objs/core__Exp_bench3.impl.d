@@ -1,0 +1,1 @@
+lib/core/exp_bench3.ml: Exp_common List Mb_machine Mb_report Mb_stats Mb_workload Outcome Paper_data Printf String

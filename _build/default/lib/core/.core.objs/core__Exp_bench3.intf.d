@@ -1,0 +1,1 @@
+lib/core/exp_bench3.mli: Exp_common Outcome

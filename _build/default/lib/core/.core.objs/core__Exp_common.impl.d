@@ -1,0 +1,1 @@
+lib/core/exp_common.ml: List Mb_stats Mb_workload

@@ -1,0 +1,1 @@
+lib/core/exp_common.mli: Mb_stats Mb_workload

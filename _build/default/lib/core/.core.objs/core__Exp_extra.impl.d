@@ -1,0 +1,1 @@
+lib/core/exp_extra.ml: Exp_bench1 Exp_common List Mb_alloc Mb_machine Mb_prng Mb_report Mb_stats Mb_vm Mb_workload Outcome Printf String

@@ -1,0 +1,1 @@
+lib/core/exp_extra.mli: Exp_common Outcome

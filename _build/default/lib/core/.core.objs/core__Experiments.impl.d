@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Exp_bench1 Exp_bench2 Exp_bench3 Exp_common Exp_extra List Outcome

@@ -1,0 +1,266 @@
+module Bench1 = Mb_workload.Bench1
+module Factory = Mb_workload.Factory
+module Configs = Mb_machine.Configs
+module Summary = Mb_stats.Summary
+module Series = Mb_stats.Series
+module Regression = Mb_stats.Regression
+module Histogram = Mb_stats.Histogram
+module Table = Mb_report.Table
+module Plot = Mb_report.Plot
+module Costs = Mb_alloc.Costs
+open Exp_common
+
+let xeon_cost_scale = 1.115
+
+let glibc_on machine =
+  if machine == Configs.quad_xeon then
+    Factory.ptmalloc ~costs:(Costs.scaled Costs.glibc xeon_cost_scale) ()
+  else Factory.ptmalloc ()
+
+let base_params opts machine factory size =
+  { Bench1.default with
+    Bench1.machine;
+    seed = opts.seed;
+    iterations = pick opts ~full:40_000 ~quick:8_000;
+    size;
+    factory;
+  }
+
+(* --- threads vs processes tables (1, 2, 3 share this shape) ---------- *)
+
+let thread_vs_process ~id ~title ~machine ~factory ~paper_single ~paper_threads ~paper_processes
+    ~gap_band opts =
+  let params = base_params opts machine factory 512 in
+  let runs = pick opts ~full:3 ~quick:1 in
+  let single = single_thread_time params in
+  let thr_sum, _ = bench1_runs { params with Bench1.workers = 2; mode = Bench1.Threads } ~runs in
+  let prc_sum, _ = bench1_runs { params with Bench1.workers = 2; mode = Bench1.Processes } ~runs in
+  let tbl = Table.make ~title ~header:[ "run"; "worker 1 (s)"; "worker 2 (s)"; "source" ] in
+  let row_of label summaries source =
+    Table.row tbl
+      (label
+       :: List.map (fun (s : Summary.t) -> Printf.sprintf "%s s=%s" (Table.cell_f s.Summary.mean) (Table.cell_f s.Summary.stddev)) summaries
+      @ [ source ])
+  in
+  row_of "threads" thr_sum "simulated";
+  Table.row tbl
+    ("threads" :: List.map Table.cell_f paper_threads @ [ "paper" ]);
+  row_of "processes" prc_sum "simulated";
+  Table.row tbl
+    ("processes" :: List.map Table.cell_f paper_processes @ [ "paper" ]);
+  Table.rowf tbl "single thread: %.6f s simulated vs %.6f s paper" single paper_single;
+  let thr = mean_of thr_sum and prc = mean_of prc_sum in
+  let gap = thr /. prc in
+  let paper_gap =
+    List.fold_left ( +. ) 0. paper_threads
+    /. List.fold_left ( +. ) 0. paper_processes
+  in
+  let lo, hi = gap_band in
+  { Outcome.id;
+    title;
+    text = Table.to_string tbl;
+    series =
+      [ Series.of_summaries ~label:"threads" (List.mapi (fun i s -> (float_of_int (i + 1), s)) thr_sum);
+        Series.of_summaries ~label:"processes" (List.mapi (fun i s -> (float_of_int (i + 1), s)) prc_sum);
+      ];
+    checks =
+      [ Outcome.check "single-thread calibration"
+          (abs_float (single -. paper_single) /. paper_single < 0.12)
+          "simulated %.2f s vs paper %.2f s" single paper_single;
+        Outcome.check "thread/process gap in band"
+          (gap >= lo && gap <= hi)
+          "gap %.3f (paper %.3f), band [%.2f, %.2f]" gap paper_gap lo hi;
+        Outcome.check "workers balanced"
+          (let ss = List.map (fun (s : Summary.t) -> s.Summary.mean) thr_sum in
+           List.fold_left max 0. ss /. List.fold_left min infinity ss < 1.10)
+          "thread times %s" (String.concat ", " (List.map (fun (s : Summary.t) -> Table.cell_f2 s.Summary.mean) thr_sum));
+      ];
+  }
+
+let table1 opts =
+  thread_vs_process ~id:"table1"
+    ~title:"Table 1: single heap per process vs multiple heaps, dual 200MHz Pentium Pro (512B)"
+    ~machine:Configs.dual_pentium_pro ~factory:(glibc_on Configs.dual_pentium_pro)
+    ~paper_single:Paper_data.ppro_single_thread_s ~paper_threads:Paper_data.table1_threads_s
+    ~paper_processes:Paper_data.table1_processes_s ~gap_band:(1.02, 1.35) opts
+
+let table2 opts =
+  thread_vs_process ~id:"table2"
+    ~title:"Table 2: threads vs processes under the Solaris single-lock allocator (512B)"
+    ~machine:Configs.dual_ultrasparc ~factory:(Factory.serial_solaris ())
+    ~paper_single:Paper_data.sparc_single_thread_s ~paper_threads:Paper_data.table2_threads_s
+    ~paper_processes:Paper_data.table2_processes_s ~gap_band:(5.0, 14.0) opts
+
+let table3 opts =
+  thread_vs_process ~id:"table3"
+    ~title:"Table 3: threads vs processes, 4-way 500MHz Xeon (512B)"
+    ~machine:Configs.quad_xeon ~factory:(glibc_on Configs.quad_xeon)
+    ~paper_single:Paper_data.xeon_single_thread_s ~paper_threads:Paper_data.table3_threads_s
+    ~paper_processes:Paper_data.table3_processes_s ~gap_band:(1.05, 1.40) opts
+
+(* --- thread-count sweeps (figures 1-4) -------------------------------- *)
+
+let sweep_params opts machine factory size = base_params opts machine factory size
+
+let thread_sweep ~params ~threads ~runs =
+  List.map
+    (fun t ->
+      let summaries, results =
+        bench1_runs { params with Bench1.workers = t; mode = Mb_workload.Bench1.Threads } ~runs
+      in
+      let all = Summary.of_list (List.concat_map (fun r -> r.Bench1.scaled_s) results) in
+      ignore summaries;
+      (t, all))
+    threads
+
+let sweep_outcome ~id ~title ~machine ~factory ~size ~threads ~paper ~checks_of opts =
+  let params = sweep_params opts machine factory size in
+  let runs = pick opts ~full:3 ~quick:1 in
+  let data = thread_sweep ~params ~threads ~runs in
+  let series =
+    Series.of_summaries ~label:"simulated"
+      (List.map (fun (t, s) -> (float_of_int t, s)) data)
+  in
+  let all_series = series :: (match paper with Some p -> [ p ] | None -> []) in
+  let plot =
+    Plot.render ~title ~x_label:"concurrent threads" ~y_label:"elapsed seconds (scaled to 10M ops)"
+      all_series
+  in
+  let tbl = Table.make ~title:"data" ~header:[ "threads"; "mean (s)"; "stddev"; "min"; "max" ] in
+  List.iter
+    (fun (t, (s : Summary.t)) ->
+      Table.row tbl
+        [ string_of_int t; Table.cell_f2 s.Summary.mean; Table.cell_f2 s.Summary.stddev;
+          Table.cell_f2 s.Summary.min; Table.cell_f2 s.Summary.max ])
+    data;
+  { Outcome.id;
+    title;
+    text = plot ^ "\n" ^ Table.to_string tbl;
+    series = all_series;
+    checks = checks_of data;
+  }
+
+let fig1 opts =
+  let machine = Configs.dual_pentium_pro in
+  sweep_outcome ~id:"fig1" ~title:"Figure 1: elapsed run-time vs thread count (dual PPro, 8192B)"
+    ~machine ~factory:(glibc_on machine) ~size:8192
+    ~threads:[ 1; 2; 3; 4; 5; 6 ]
+    ~paper:(Some (paper_series ~label:"paper (derived slope m/n)" Paper_data.fig1_derived))
+    ~checks_of:(fun data ->
+      let single = (List.assoc 1 data).Summary.mean in
+      let beyond = List.filter (fun (t, _) -> t >= 2) data in
+      let reg =
+        Regression.fit (List.map (fun (t, s) -> (float_of_int t, s.Summary.mean)) beyond)
+      in
+      let expected_slope = single /. 2. in
+      (* quick mode averages a single run per point, so scheduler timer
+         phase adds a few percent of per-point noise *)
+      let r2_floor = pick opts ~full:0.97 ~quick:0.90 in
+      [ Outcome.check "linear past CPU count" (reg.Regression.r2 > r2_floor) "r2=%.4f" reg.Regression.r2;
+        Outcome.check "slope ~ single/cpus"
+          (abs_float (reg.Regression.slope -. expected_slope) /. expected_slope < 0.35)
+          "slope %.2f vs m/n %.2f" reg.Regression.slope expected_slope;
+      ])
+    opts
+
+let fig2 opts =
+  let machine = Configs.dual_pentium_pro in
+  let threads = pick opts ~full:Paper_data.fig2_threads ~quick:[ 8; 16; 32 ] in
+  let params0 = sweep_params opts machine (glibc_on machine) 4100 in
+  let params = { params0 with Bench1.iterations = pick opts ~full:6_000 ~quick:1_500 } in
+  let runs = pick opts ~full:2 ~quick:1 in
+  let data = thread_sweep ~params ~threads ~runs in
+  let series =
+    Series.of_summaries ~label:"simulated" (List.map (fun (t, s) -> (float_of_int t, s)) data)
+  in
+  let title = "Figure 2: elapsed run-time with larger thread counts (dual PPro, 4100B)" in
+  let plot = Plot.render ~title ~x_label:"concurrent threads" ~y_label:"elapsed s (scaled)" [ series ] in
+  let reg = Regression.fit (List.map (fun (t, s) -> (float_of_int t, s.Summary.mean)) data) in
+  { Outcome.id = "fig2";
+    title;
+    text = plot;
+    series = [ series ];
+    checks =
+      [ Outcome.check "linearity far past CPU count" (reg.Regression.r2 > 0.985) "r2=%.4f"
+          reg.Regression.r2;
+      ];
+  }
+
+let fig3 opts =
+  let machine = Configs.dual_ultrasparc in
+  sweep_outcome ~id:"fig3"
+    ~title:"Figure 3: thread scalability under the Solaris allocator (dual UltraSPARC, 8192B)"
+    ~machine ~factory:(Factory.serial_solaris ()) ~size:8192
+    ~threads:[ 1; 2; 3; 4; 5 ] ~paper:None
+    ~checks_of:(fun data ->
+      let single = (List.assoc 1 data).Summary.mean in
+      let five = (List.assoc 5 data).Summary.mean in
+      let slope_factor = five /. single in
+      [ Outcome.check "5-thread collapse >= 10x single" (slope_factor >= 10.)
+          "t5/t1 = %.1f (paper ~20x)" slope_factor;
+        Outcome.check "slope far exceeds m/n"
+          (let two = (List.assoc 2 data).Summary.mean in
+           two /. single > 4.)
+          "t2/t1 = %.1f (ideal would be 1.0)" ((List.assoc 2 data).Summary.mean /. single);
+      ])
+    opts
+
+let fig4 opts =
+  let machine = Configs.quad_xeon in
+  sweep_outcome ~id:"fig4"
+    ~title:"Figure 4: elapsed run-time vs thread count (4-way Xeon, 8192B)"
+    ~machine ~factory:(glibc_on machine) ~size:8192
+    ~threads:[ 1; 2; 3; 4; 5; 6 ] ~paper:None
+    ~checks_of:(fun data ->
+      let m t = (List.assoc t data).Summary.mean in
+      [ Outcome.check "jump from 1 to 2 threads (stub->atomic locks)" (m 2 > m 1 *. 1.04)
+          "t1=%.2f t2=%.2f" (m 1) (m 2);
+        Outcome.check "plateau while threads <= CPUs" (m 4 < m 1 *. 1.6) "t4=%.2f vs t1=%.2f" (m 4) (m 1);
+        Outcome.check "second jump past 4 CPUs" (m 5 > m 4 *. 1.12) "t4=%.2f t5=%.2f" (m 4) (m 5);
+      ])
+    opts
+
+let table4 opts =
+  let machine = Configs.quad_xeon in
+  let params = base_params opts machine (glibc_on machine) 8192 in
+  let nruns = pick opts ~full:5 ~quick:3 in
+  let runs =
+    List.init nruns (fun i ->
+        Bench1.run
+          { params with
+            Bench1.workers = 3;
+            mode = Mb_workload.Bench1.Threads;
+            seed = opts.seed + (i * 173);
+          })
+  in
+  let values = List.concat_map (fun r -> r.Bench1.scaled_s) runs in
+  let title = "Table 4: variance in elapsed run time, 3 threads on the 4-way Xeon (8192B)" in
+  let tbl = Table.make ~title ~header:[ "run"; "elapsed (s)"; "paper row" ] in
+  List.iteri
+    (fun i v ->
+      let paper =
+        if i < List.length Paper_data.table4_runs_s then
+          Table.cell_f (List.nth Paper_data.table4_runs_s i)
+        else "-"
+      in
+      Table.row tbl [ string_of_int (i + 1); Table.cell_f v; paper ])
+    values;
+  let summary = Summary.of_list values in
+  let lo = summary.Summary.min and hi = summary.Summary.max in
+  let hist = Histogram.create ~lo:(lo *. 0.99) ~hi:(hi *. 1.01 +. 0.001) ~bins:8 in
+  List.iter (Histogram.add hist) values;
+  let hist_text = Format.asprintf "%a" Histogram.pp hist in
+  let spread = Summary.spread summary in
+  let slow = List.filter (fun v -> v > lo *. 1.08) values in
+  { Outcome.id = "table4";
+    title;
+    text = Table.to_string tbl ^ "\nhistogram:\n" ^ hist_text;
+    series = [ Series.make ~label:"run times" (List.mapi (fun i v -> (float_of_int (i + 1), v)) values) ];
+    checks =
+      [ Outcome.check "sloshing spread present" (spread > 0.08)
+          "max/min spread %.1f%% (paper ~18%%)" (spread *. 100.);
+        Outcome.check "slow mode is a minority"
+          (slow <> [] && List.length slow * 2 <= List.length values)
+          "%d of %d runs in the slow mode (paper 5 of 15)" (List.length slow) (List.length values);
+      ];
+  }

@@ -1,0 +1,29 @@
+(** Reproductions of the paper's benchmark 1 artifacts: Tables 1–4 and
+    Figures 1–4 (multithread scalability on the three SMP hosts). *)
+
+val xeon_cost_scale : float
+(** Per-host calibration multiplier for the 500 MHz Xeon (DESIGN.md). *)
+
+val table1 : Exp_common.opts -> Outcome.t
+(** Two threads sharing a heap vs two processes, dual Pentium Pro. *)
+
+val fig1 : Exp_common.opts -> Outcome.t
+(** Elapsed time vs thread count (1–6), dual Pentium Pro, 8 KB requests. *)
+
+val fig2 : Exp_common.opts -> Outcome.t
+(** Elapsed time for 8–64 threads, 4100-byte requests. *)
+
+val table2 : Exp_common.opts -> Outcome.t
+(** Threads vs processes under the Solaris single-lock allocator. *)
+
+val fig3 : Exp_common.opts -> Outcome.t
+(** Thread scalability collapse on Solaris (1–5 threads). *)
+
+val table3 : Exp_common.opts -> Outcome.t
+(** Threads vs processes on the 4-way Xeon. *)
+
+val fig4 : Exp_common.opts -> Outcome.t
+(** Thread scalability on the 4-way Xeon (1–6 threads). *)
+
+val table4 : Exp_common.opts -> Outcome.t
+(** Run-time variance of the 3-thread Xeon runs (cache sloshing). *)

@@ -1,0 +1,219 @@
+module Bench2 = Mb_workload.Bench2
+module Factory = Mb_workload.Factory
+module Configs = Mb_machine.Configs
+module Summary = Mb_stats.Summary
+module Series = Mb_stats.Series
+module Regression = Mb_stats.Regression
+module Table = Mb_report.Table
+module Plot = Mb_report.Plot
+open Exp_common
+
+let base_params opts machine =
+  (* Quick mode shrinks the work per round; shrink the scheduler quantum
+     with it so preemption still lands mid-round (the collision source
+     behind arena creation) at the same rate as in the full runs. *)
+  let machine =
+    if opts.quick then
+      { machine with Mb_machine.Machine.quantum_us = machine.Mb_machine.Machine.quantum_us /. 2.9 }
+    else machine
+  in
+  { Bench2.default with
+    Bench2.machine;
+    seed = opts.seed;
+    replacements_per_round = pick opts ~full:2_200 ~quick:750;
+    objects_per_thread = pick opts ~full:6_000 ~quick:2_000;
+  }
+
+(* Run [runs] seeds of one (threads, rounds) cell and summarize faults. *)
+let fault_runs params ~runs ~threads ~rounds =
+  let results =
+    List.init runs (fun i ->
+        Bench2.run { params with Bench2.threads; rounds; seed = params.Bench2.seed + (i * 211) })
+  in
+  (Summary.of_list (List.map (fun r -> float_of_int r.Bench2.minor_faults) results), results)
+
+(* Sweep rounds for a fixed thread count: the shape of figures 5-7. *)
+let rounds_sweep params ~runs ~threads ~rounds_list =
+  List.map (fun rounds -> (rounds, fault_runs params ~runs ~threads ~rounds)) rounds_list
+
+let sweep_series label data =
+  [ Series.of_summaries ~label:(label ^ " avg")
+      (List.map (fun (r, (s, _)) -> (float_of_int r, s)) data);
+    Series.make ~label:(label ^ " min")
+      (List.map (fun (r, ((s : Summary.t), _)) -> (float_of_int r, s.Summary.min)) data);
+    Series.make ~label:(label ^ " max")
+      (List.map (fun (r, ((s : Summary.t), _)) -> (float_of_int r, s.Summary.max)) data);
+  ]
+
+(* Our own lower-bound predictor, fitted like the paper's: the per-round
+   term is the slope of the single-thread rounds sweep (no contention, so
+   deterministic — figure 5's line), and the per-thread term is the
+   minimum across seeds of the one-round cost of adding a thread (the
+   minimum filters out runs where a leak event fired, since the paper's
+   predictor is explicitly a lower bound). *)
+let fit_our_predictor params =
+  let faults ?(seed = params.Bench2.seed) ~threads ~rounds () =
+    (Bench2.run { params with Bench2.threads; rounds; seed }).Bench2.minor_faults
+  in
+  let single = List.map (fun r -> (float_of_int r, float_of_int (faults ~threads:1 ~rounds:r ()))) [ 1; 3; 5; 8 ] in
+  let a = (Regression.fit single).Regression.slope in
+  let one_thread = faults ~threads:1 ~rounds:1 () in
+  let two_threads =
+    List.fold_left
+      (fun acc i -> min acc (faults ~seed:(params.Bench2.seed + (i * 389)) ~threads:2 ~rounds:1 ()))
+      max_int [ 0; 1; 2 ]
+  in
+  let b = float_of_int (two_threads - one_thread) in
+  (a, b)
+
+let predictor opts =
+  let params = base_params opts Configs.uni_k6 in
+  let a, b = fit_our_predictor params in
+  let title = "Benchmark 2 fault predictor: base + a*t*r + b*t" in
+  let tbl = Table.make ~title ~header:[ "coefficient"; "ours"; "paper" ] in
+  Table.row tbl [ "per round per thread (a)"; Table.cell_f2 a; Table.cell_f2 Paper_data.predictor_per_round_thread ];
+  Table.row tbl [ "per thread (b)"; Table.cell_f2 b; Table.cell_f2 Paper_data.predictor_per_thread ];
+  Table.rowf tbl "paper: mpf = 14 + 1.1*t*r + 127.6*t  (t threads, r rounds)";
+  let expected_b =
+    (* Our deterministic floor: the object pages + the address array +
+       the sub-heap top page, with 48-byte chunks for 40-byte objects. *)
+    float_of_int params.Bench2.objects_per_thread *. 48. /. 4096.
+  in
+  { Outcome.id = "predictor";
+    title;
+    text = Table.to_string tbl;
+    series = [];
+    checks =
+      [ Outcome.check "per-round term ~ 1 page per pthread_create" (a >= 0.8 && a <= 2.5)
+          "a = %.2f (paper 1.1)" a;
+        Outcome.check "per-thread term ~ object+array pages" (abs_float (b -. expected_b) /. expected_b < 0.25)
+          "b = %.1f vs expected %.1f (paper %.1f at 10k objects)" b expected_b
+          Paper_data.predictor_per_thread;
+      ];
+  }
+
+let fig_outcome ~id ~title ~machine ~threads ~rounds_list ~checks_of opts =
+  let params = base_params opts machine in
+  let runs = pick opts ~full:5 ~quick:2 in
+  let data = rounds_sweep params ~runs ~threads ~rounds_list in
+  let series = sweep_series (Printf.sprintf "%d-thread" threads) data in
+  let plot = Plot.render ~title ~x_label:"number of rounds" ~y_label:"minor page faults" series in
+  let tbl =
+    Table.make ~title:"data" ~header:[ "rounds"; "avg"; "min"; "max"; "spread%"; "predictor(paper)" ]
+  in
+  List.iter
+    (fun (r, ((s : Summary.t), _)) ->
+      Table.row tbl
+        [ string_of_int r; Printf.sprintf "%.0f" s.Summary.mean; Printf.sprintf "%.0f" s.Summary.min;
+          Printf.sprintf "%.0f" s.Summary.max;
+          Printf.sprintf "%.0f%%" (Summary.spread s *. 100.);
+          Printf.sprintf "%.0f" (Bench2.paper_predictor ~threads ~rounds:r);
+        ])
+    data;
+  { Outcome.id;
+    title;
+    text = plot ^ "\n" ^ Table.to_string tbl;
+    series;
+    checks = checks_of data;
+  }
+
+let fig5 opts =
+  fig_outcome ~id:"fig5"
+    ~title:"Figure 5: rounds vs minor page faults, single thread (uniprocessor K6)"
+    ~machine:Configs.uni_k6 ~threads:1
+    ~rounds_list:[ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    ~checks_of:(fun data ->
+      let pts =
+        List.map (fun (r, ((s : Summary.t), _)) -> (float_of_int r, s.Summary.mean)) data
+      in
+      let reg = Regression.fit pts in
+      [ Outcome.check "deterministic (no contention => no variance)"
+          (List.for_all (fun (_, ((s : Summary.t), _)) -> Summary.spread s < 0.02) data)
+          "max spread %.2f%%"
+          (List.fold_left (fun m (_, (s, _)) -> max m (Summary.spread s *. 100.)) 0. data);
+        Outcome.check "about one extra page per round" (reg.Regression.slope >= 0.8 && reg.Regression.slope <= 2.5)
+          "slope %.2f faults/round (paper 1.1)" reg.Regression.slope;
+        Outcome.check "linear in rounds" (reg.Regression.r2 > 0.97) "r2=%.4f" reg.Regression.r2;
+      ])
+    opts
+
+let fig6 opts =
+  fig_outcome ~id:"fig6"
+    ~title:"Figure 6: rounds vs minor page faults, three threads (uniprocessor K6)"
+    ~machine:Configs.uni_k6 ~threads:3
+    ~rounds_list:[ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    ~checks_of:(fun data ->
+      let spreads = List.map (fun (_, (s, _)) -> Summary.spread s) data in
+      let max_spread = List.fold_left max 0. spreads in
+      let min_at r = (fst (List.assoc r data)).Summary.min in
+      [ Outcome.check "leakage variance appears under contention" (max_spread > 0.03)
+          "max spread %.1f%% (paper 25-50%%)" (max_spread *. 100.);
+        Outcome.check "minimum faults grow about a page per thread per round"
+          (min_at 8 >= min_at 1 +. (0.5 *. 3. *. 7.))
+          "min at 1 round %.0f, at 8 rounds %.0f (paper: 399 + 3/round)" (min_at 1) (min_at 8);
+      ])
+    opts
+
+let fig7 opts =
+  let params = base_params opts Configs.uni_k6 in
+  let runs = pick opts ~full:5 ~quick:2 in
+  let rounds_list = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let data3 = rounds_sweep params ~runs ~threads:3 ~rounds_list in
+  let data7 = rounds_sweep params ~runs ~threads:7 ~rounds_list in
+  let title = "Figure 7: rounds vs minor page faults, seven threads (uniprocessor K6)" in
+  let series = sweep_series "7-thread" data7 in
+  let plot = Plot.render ~title ~x_label:"number of rounds" ~y_label:"minor page faults" series in
+  let avg_spread data =
+    let spreads = List.map (fun (_, (s, _)) -> Summary.spread s) data in
+    List.fold_left ( +. ) 0. spreads /. float_of_int (List.length spreads)
+  in
+  let s3 = avg_spread data3 and s7 = avg_spread data7 in
+  { Outcome.id = "fig7";
+    title;
+    text = plot;
+    series;
+    checks =
+      [ Outcome.check "relative variance shrinks with more threads" (s7 <= s3 +. 0.02)
+          "avg spread: 7 threads %.1f%% vs 3 threads %.1f%% (paper: 9-18%% vs 25-50%%)"
+          (s7 *. 100.) (s3 *. 100.);
+      ];
+  }
+
+let fig8 opts =
+  let machine = Configs.quad_xeon in
+  let params = base_params opts machine in
+  let runs = pick opts ~full:3 ~quick:1 in
+  let threads = 7 in
+  let rounds_list = pick opts ~full:[ 10; 20; 40; 80 ] ~quick:[ 4; 8 ] in
+  let data = rounds_sweep params ~runs ~threads ~rounds_list in
+  let title = "Figure 8: rounds vs minor page faults, seven threads on the 4-way Xeon" in
+  let predictor_series =
+    Series.make ~label:"paper predictor"
+      (List.map
+         (fun r -> (float_of_int r, Bench2.paper_predictor ~threads ~rounds:r))
+         rounds_list)
+  in
+  let series = sweep_series "7-thread/4-cpu" data @ [ predictor_series ] in
+  let plot = Plot.render ~title ~x_label:"number of rounds" ~y_label:"minor page faults" series in
+  let pts = List.map (fun (r, ((s : Summary.t), _)) -> (float_of_int r, s.Summary.mean)) data in
+  let reg = Regression.fit pts in
+  let per_round_per_thread = reg.Regression.slope /. float_of_int threads in
+  let last_rounds = List.nth rounds_list (List.length rounds_list - 1) in
+  let last_mean = (fst (List.assoc last_rounds data)).Summary.mean in
+  let floor_estimate =
+    (* our chunks are 48B; arrays and startup add the rest *)
+    float_of_int (threads * params.Bench2.objects_per_thread) *. 48. /. 4096.
+  in
+  { Outcome.id = "fig8";
+    title;
+    text = plot;
+    series;
+    checks =
+      [ Outcome.check "fault growth linear in rounds" (reg.Regression.r2 > 0.85) "r2=%.4f" reg.Regression.r2;
+        Outcome.check "slope ~ a page per thread-round" (per_round_per_thread >= 0.5 && per_round_per_thread <= 4.)
+          "%.2f faults/round/thread (paper ~1.1)" per_round_per_thread;
+        Outcome.check "growth bounded (no pathological leak)"
+          (last_mean < 3. *. (floor_estimate +. reg.Regression.slope *. float_of_int last_rounds))
+          "faults at %d rounds = %.0f, floor %.0f" last_rounds last_mean floor_estimate;
+      ];
+  }

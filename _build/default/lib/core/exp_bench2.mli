@@ -1,0 +1,21 @@
+(** Reproductions of the paper's benchmark 2 artifacts: Figures 5–8 and
+    the minor-page-fault lower-bound predictor of section 5.2. *)
+
+val predictor : Exp_common.opts -> Outcome.t
+(** Fits our own fault predictor from single-thread runs and compares
+    its structure with the paper's 14 + 1.1*t*r + 127.6*t. *)
+
+val fig5 : Exp_common.opts -> Outcome.t
+(** Single thread, rounds 1–8 on the uniprocessor K6: no heap
+    contention, faults track the predictor exactly. *)
+
+val fig6 : Exp_common.opts -> Outcome.t
+(** Three threads: leakage variance appears. *)
+
+val fig7 : Exp_common.opts -> Outcome.t
+(** Seven threads: relative variance shrinks as statistics level
+    subheap imbalance out. *)
+
+val fig8 : Exp_common.opts -> Outcome.t
+(** Seven threads on the 4-way Xeon, long round counts: faults follow
+    the predictor's slope with a near-constant offset (bounded growth). *)

@@ -1,0 +1,101 @@
+module Bench3 = Mb_workload.Bench3
+module Factory = Mb_workload.Factory
+module Configs = Mb_machine.Configs
+module Summary = Mb_stats.Summary
+module Series = Mb_stats.Series
+module Table = Mb_report.Table
+module Plot = Mb_report.Plot
+open Exp_common
+
+let base_params opts =
+  { Bench3.default with
+    Bench3.seed = opts.seed;
+    writes = pick opts ~full:1_000_000 ~quick:200_000;
+  }
+
+let fig ~id ~threads opts =
+  let params = { (base_params opts) with Bench3.threads } in
+  let sizes = pick opts ~full:Paper_data.bench3_sizes ~quick:[ 3; 16; 40; 52 ] in
+  let runs = pick opts ~full:3 ~quick:1 in
+  let aligned = Bench3.sweep { params with Bench3.aligned = true } ~sizes ~runs in
+  let normal = Bench3.sweep { params with Bench3.aligned = false } ~sizes ~runs in
+  let title =
+    Printf.sprintf "Figure %s: cache sharing between %d threads (4-way Xeon)"
+      (String.sub id 3 (String.length id - 3))
+      threads
+  in
+  let series =
+    [ Series.of_summaries ~label:"cache-aligned"
+        (List.map (fun (s, v) -> (float_of_int s, v)) aligned);
+      Series.of_summaries ~label:"normal" (List.map (fun (s, v) -> (float_of_int s, v)) normal);
+    ]
+  in
+  let plot =
+    Plot.render ~title ~x_label:"request size, bytes" ~y_label:"elapsed s (scaled to 100M writes)"
+      series
+  in
+  let tbl = Table.make ~title:"data" ~header:[ "size"; "aligned (s)"; "normal (s)"; "slowdown" ] in
+  List.iter2
+    (fun (sz, (a : Summary.t)) (_, (n : Summary.t)) ->
+      Table.row tbl
+        [ string_of_int sz; Table.cell_f2 a.Summary.mean; Table.cell_f2 n.Summary.mean;
+          Printf.sprintf "%.2fx" (n.Summary.mean /. a.Summary.mean);
+        ])
+    aligned normal;
+  let aligned_means = List.map (fun (_, (s : Summary.t)) -> s.Summary.mean) aligned in
+  let a_max = List.fold_left max 0. aligned_means in
+  let a_min = List.fold_left min infinity aligned_means in
+  let worst_slowdown =
+    List.fold_left2
+      (fun acc (_, (a : Summary.t)) (_, (n : Summary.t)) -> max acc (n.Summary.mean /. a.Summary.mean))
+      0. aligned normal
+  in
+  let never_faster =
+    List.for_all2
+      (fun (_, (a : Summary.t)) (_, (n : Summary.t)) -> n.Summary.mean >= a.Summary.mean *. 0.95)
+      aligned normal
+  in
+  { Outcome.id = id;
+    title;
+    text = plot ^ "\n" ^ Table.to_string tbl;
+    series;
+    checks =
+      [ Outcome.check "aligned objects are size-insensitive" (a_max /. a_min < 1.25)
+          "aligned max/min = %.2f" (a_max /. a_min);
+        Outcome.check "false sharing costs at least 1.5x somewhere" (worst_slowdown >= 1.5)
+          "worst normal/aligned = %.2fx (paper: 2-%0.0fx)" worst_slowdown
+          Paper_data.bench3_max_slowdown;
+        Outcome.check "normal never beats aligned" never_faster "within 5%% everywhere";
+      ];
+  }
+
+let fig9 opts = fig ~id:"fig9" ~threads:2 opts
+
+let fig10 opts = fig ~id:"fig10" ~threads:3 opts
+
+let fig11 opts = fig ~id:"fig11" ~threads:4 opts
+
+let single_thread_baseline opts =
+  let params = { (base_params opts) with Bench3.threads = 1 } in
+  let sizes = [ 3; 24; 52 ] in
+  let results =
+    List.map (fun sz -> (sz, (Bench3.run { params with Bench3.object_size = sz }).Bench3.scaled_s)) sizes
+  in
+  let title = "Benchmark 3 baseline: single thread, 100M writes (paper: 2.102-2.103 s)" in
+  let tbl = Table.make ~title ~header:[ "size"; "elapsed (s)"; "paper" ] in
+  List.iter
+    (fun (sz, s) -> Table.row tbl [ string_of_int sz; Table.cell_f2 s; Table.cell_f2 Paper_data.bench3_single_thread_s ])
+    results;
+  let times = List.map snd results in
+  let tmax = List.fold_left max 0. times and tmin = List.fold_left min infinity times in
+  { Outcome.id = "bench3-baseline";
+    title;
+    text = Table.to_string tbl;
+    series = [ Series.make ~label:"single thread" (List.map (fun (s, v) -> (float_of_int s, v)) results) ];
+    checks =
+      [ Outcome.check "size independent" (tmax /. tmin < 1.05) "max/min = %.3f" (tmax /. tmin);
+        Outcome.check "calibrated near paper"
+          (abs_float (tmax -. Paper_data.bench3_single_thread_s) /. Paper_data.bench3_single_thread_s < 0.25)
+          "%.2f s vs paper %.2f s" tmax Paper_data.bench3_single_thread_s;
+      ];
+  }

@@ -1,0 +1,12 @@
+(** Reproductions of the paper's benchmark 3 artifacts: Figures 9–11
+    (false cache-line sharing for 2, 3 and 4 writer threads on the
+    4-way Xeon, cache-aligned vs normally placed heap objects). *)
+
+val fig9 : Exp_common.opts -> Outcome.t
+
+val fig10 : Exp_common.opts -> Outcome.t
+
+val fig11 : Exp_common.opts -> Outcome.t
+
+val single_thread_baseline : Exp_common.opts -> Outcome.t
+(** The paper's 2.102 s single-thread run, independent of object size. *)

@@ -1,0 +1,31 @@
+module Bench1 = Mb_workload.Bench1
+module Summary = Mb_stats.Summary
+
+type opts = { quick : bool; seed : int }
+
+let default_opts = { quick = false; seed = 1 }
+
+let quick_opts = { quick = true; seed = 1 }
+
+let pick opts ~full ~quick = if opts.quick then quick else full
+
+let bench1_runs params ~runs =
+  let results =
+    List.init runs (fun i -> Bench1.run { params with Bench1.seed = params.Bench1.seed + (i * 101) })
+  in
+  let workers = params.Bench1.workers in
+  let per_position =
+    List.init workers (fun pos ->
+        Summary.of_list (List.map (fun r -> List.nth r.Bench1.scaled_s pos) results))
+  in
+  (per_position, results)
+
+let mean_of summaries =
+  let total = List.fold_left (fun acc s -> acc +. s.Summary.mean) 0. summaries in
+  total /. float_of_int (List.length summaries)
+
+let single_thread_time params =
+  let r = Bench1.run { params with Mb_workload.Bench1.workers = 1 } in
+  List.hd r.Bench1.scaled_s
+
+let paper_series ~label pts = Mb_stats.Series.make ~label pts

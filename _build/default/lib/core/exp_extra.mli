@@ -1,0 +1,48 @@
+(** Ablations and extensions beyond the paper's printed artifacts:
+    mechanism isolations for the effects DESIGN.md calls out, plus the
+    future-work experiments of section 6. *)
+
+val ablate_spin : Exp_common.opts -> Outcome.t
+(** Single-lock allocator with vs without adaptive mutex spinning —
+    isolates why Solaris (Figure 3) collapses where Linux would not. *)
+
+val ablate_arenas : Exp_common.opts -> Outcome.t
+(** ptmalloc capped at one arena vs unlimited arenas — isolates how much
+    of Figure 4's scalability is arena creation. *)
+
+val ablate_atomics : Exp_common.opts -> Outcome.t
+(** The thread-vs-process gap (Tables 1/3) as a function of the atomic
+    lock-operation cost. *)
+
+val shootout : Exp_common.opts -> Outcome.t
+(** All five allocators across a thread sweep: reproduces section 2's
+    qualitative claims (single-lock penalty; per-thread allocator winning
+    at scale). *)
+
+val latency_uptime : Exp_common.opts -> Outcome.t
+(** Future work: malloc latency across server uptime windows. *)
+
+val trace_replay : Exp_common.opts -> Outcome.t
+(** Future work: one recorded allocation trace replayed against every
+    allocator. *)
+
+val slab_contention : Exp_common.opts -> Outcome.t
+(** Future work: the kernel slab allocator's per-cache lock behaves like
+    a user-level single lock on a same-size workload. *)
+
+val ablate_bkl : Exp_common.opts -> Outcome.t
+(** Section 3: what serializing VM syscalls behind the big kernel lock
+    costs an mmap-heavy allocation load (the paper patched sbrk to avoid
+    it in kernels 2.3.5-2.3.7). *)
+
+val ablate_fastbins : Exp_common.opts -> Outcome.t
+(** What the glibc-2.3 fastbin evolution buys the small-chunk path. *)
+
+val larson : Exp_common.opts -> Outcome.t
+(** The unsimplified Larson & Krishnan benchmark (the paper's [5]):
+    random sizes and thread recycling across the allocators; checks the
+    paper's claim that benchmark 2's fixed size loses nothing. *)
+
+val ablate_crowding : Exp_common.opts -> Outcome.t
+(** Section 3: a crowded address space blocks [sbrk]; post-2.1.3 glibc
+    retries arena growth with [mmap], the older libc just fails. *)

@@ -1,0 +1,54 @@
+type runner = Exp_common.opts -> Outcome.t
+
+let paper_artifacts =
+  [ ("table1", Exp_bench1.table1);
+    ("fig1", Exp_bench1.fig1);
+    ("fig2", Exp_bench1.fig2);
+    ("table2", Exp_bench1.table2);
+    ("fig3", Exp_bench1.fig3);
+    ("table3", Exp_bench1.table3);
+    ("fig4", Exp_bench1.fig4);
+    ("table4", Exp_bench1.table4);
+    ("predictor", Exp_bench2.predictor);
+    ("fig5", Exp_bench2.fig5);
+    ("fig6", Exp_bench2.fig6);
+    ("fig7", Exp_bench2.fig7);
+    ("fig8", Exp_bench2.fig8);
+    ("bench3-baseline", Exp_bench3.single_thread_baseline);
+    ("fig9", Exp_bench3.fig9);
+    ("fig10", Exp_bench3.fig10);
+    ("fig11", Exp_bench3.fig11);
+  ]
+
+let extensions =
+  [ ("ablate-spin", Exp_extra.ablate_spin);
+    ("ablate-arenas", Exp_extra.ablate_arenas);
+    ("ablate-atomics", Exp_extra.ablate_atomics);
+    ("shootout", Exp_extra.shootout);
+    ("latency-uptime", Exp_extra.latency_uptime);
+    ("trace-replay", Exp_extra.trace_replay);
+    ("slab", Exp_extra.slab_contention);
+    ("ablate-bkl", Exp_extra.ablate_bkl);
+    ("ablate-fastbins", Exp_extra.ablate_fastbins);
+    ("ablate-crowding", Exp_extra.ablate_crowding);
+    ("larson", Exp_extra.larson);
+  ]
+
+let all = paper_artifacts @ extensions
+
+let find id = List.assoc_opt id all
+
+let ids = List.map fst all
+
+let run_all ?only opts =
+  let selected =
+    match only with
+    | None -> all
+    | Some wanted -> List.filter (fun (id, _) -> List.mem id wanted) all
+  in
+  List.map
+    (fun (_, runner) ->
+      let outcome = runner opts in
+      Outcome.print outcome;
+      outcome)
+    selected

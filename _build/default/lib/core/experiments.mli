@@ -1,0 +1,22 @@
+(** The experiment registry: every table and figure of the paper, plus
+    the ablations and future-work extensions, addressable by id. *)
+
+type runner = Exp_common.opts -> Outcome.t
+
+val paper_artifacts : (string * runner) list
+(** In paper order: table1, fig1, fig2, table2, fig3, table3, fig4,
+    table4, predictor, fig5..fig8, bench3-baseline, fig9..fig11. *)
+
+val extensions : (string * runner) list
+(** ablate-spin, ablate-arenas, ablate-atomics, shootout,
+    latency-uptime, trace-replay, slab. *)
+
+val all : (string * runner) list
+
+val find : string -> runner option
+
+val ids : string list
+
+val run_all : ?only:string list -> Exp_common.opts -> Outcome.t list
+(** Runs (a subset of) the registry in order, printing each outcome as it
+    completes, and returns them. *)

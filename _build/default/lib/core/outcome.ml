@@ -1,0 +1,29 @@
+type check = {
+  label : string;
+  pass : bool;
+  detail : string;
+}
+
+type t = {
+  id : string;
+  title : string;
+  text : string;
+  series : Mb_stats.Series.t list;
+  checks : check list;
+}
+
+let check label pass fmt = Printf.ksprintf (fun detail -> { label; pass; detail }) fmt
+
+let passed t = List.for_all (fun c -> c.pass) t.checks
+
+let summary_line t =
+  let pass = List.length (List.filter (fun c -> c.pass) t.checks) in
+  let total = List.length t.checks in
+  Printf.sprintf "%-16s %s (%d/%d checks)" t.id (if pass = total then "OK  " else "FAIL") pass total
+
+let print t =
+  Printf.printf "=== %s: %s ===\n%s\n" t.id t.title t.text;
+  List.iter
+    (fun c -> Printf.printf "  [%s] %s: %s\n" (if c.pass then "pass" else "FAIL") c.label c.detail)
+    t.checks;
+  print_newline ()

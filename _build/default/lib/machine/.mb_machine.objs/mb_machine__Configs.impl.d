@@ -1,0 +1,1 @@
+lib/machine/configs.ml: List Machine Mb_cache

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array List Mb_cache Mb_prng Mb_sim Mb_vm Printf Queue

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Mb_cache Mb_prng Mb_sim Mb_vm

@@ -1,0 +1,599 @@
+module Engine = Mb_sim.Engine
+module Coherence = Mb_cache.Coherence
+module As = Mb_vm.Address_space
+module Rng = Mb_prng.Rng
+
+type config = {
+  cpus : int;
+  mhz : float;
+  quantum_us : float;
+  ctx_switch_cycles : int;
+  atomic_cycles : int;
+  stub_lock_cycles : int;
+  spin_cycles : int;
+  mutex_handoff : bool;
+  wake_cycles : int;
+  syscall_cycles : int;
+  vm_syscalls_take_bkl : bool;
+  minor_fault_cycles : int;
+  thread_spawn_cycles : int;
+  op_jitter : float;
+  cache : Coherence.config;
+  vm : As.config;
+}
+
+let default_config =
+  { cpus = 2;
+    mhz = 200.;
+    quantum_us = 2000.;
+    ctx_switch_cycles = 900;
+    atomic_cycles = 14;
+    stub_lock_cycles = 2;
+    spin_cycles = 400;
+    mutex_handoff = false;
+    wake_cycles = 300;
+    syscall_cycles = 800;
+    vm_syscalls_take_bkl = true;
+    minor_fault_cycles = 900;
+    thread_spawn_cycles = 1500;
+    op_jitter = 0.02;
+    cache = Coherence.default_config;
+    vm = As.linux_x86;
+  }
+
+type thread_state = Starting | Ready | Running | Blocked | Finished
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  cache : Coherence.t;
+  root_rng : Rng.t;
+  cycle_ns : float;
+  quantum_cycles : float;
+  cpus : cpu array;
+  ready : thread Queue.t;
+  mutable next_tid : int;
+  mutable next_asid : int;
+  mutable ctx_switches : int;
+  mutable busy : float;
+  mutable bkl : mutex option;  (* the 2.2-era big kernel lock guarding VM
+                                  syscalls (paper section 3); lazy *)
+}
+
+and cpu = { cpu_id : int; mutable current : thread option }
+
+and mutex = {
+  mname : string;
+  mm : t;
+  mutable owner : thread option;
+  waiters : thread Queue.t;
+  mutable contentions : int;
+  mutable acquisitions : int;
+}
+
+and proc = {
+  pname : string;
+  pasid : int;  (* address-space id: distinguishes equal virtual addresses
+                   of different processes in the physically-indexed cache *)
+  pm : t;
+  pvm : As.t;
+  prng : Rng.t;
+  mutable live_threads : int;
+  mutable ever_multi : bool;
+}
+
+and thread = {
+  tid : int;
+  tname : string;
+  tproc : proc;
+  trng : Rng.t;
+  mutable state : thread_state;
+  mutable resume : (unit -> unit) option;
+  mutable on_cpu : int;  (* valid while Running *)
+  mutable quantum_left : float;
+  mutable spawn_ns : float;
+  mutable finish_ns : float;
+  mutable cpu_cycles : float;
+  mutable switches : int;
+  mutable blocks : int;
+  mutable spin_wins : int;
+  mutable faults : int;
+  mutable stack_addr : int;
+  mutable hooks : (unit -> unit) list;
+  joiners : thread Queue.t;
+}
+
+type ctx = thread
+
+type thread_stats = {
+  cpu_cycles : float;
+  ctx_switches : int;
+  blocks : int;
+  spins : int;
+  page_faults : int;
+}
+
+let thread_stack_bytes = 16 * 1024
+
+let create ?(seed = 42) (config : config) =
+  if config.cpus <= 0 then invalid_arg "Machine.create: cpus <= 0";
+  if config.mhz <= 0. then invalid_arg "Machine.create: mhz <= 0";
+  let cycle_ns = 1000. /. config.mhz in
+  { config;
+    engine = Engine.create ();
+    cache = Coherence.create config.cache ~cpus:config.cpus;
+    root_rng = Rng.create ~seed;
+    cycle_ns;
+    quantum_cycles = config.quantum_us *. 1000. /. cycle_ns;
+    cpus = Array.init config.cpus (fun cpu_id -> { cpu_id; current = None });
+    ready = Queue.create ();
+    next_tid = 0;
+    next_asid = 0;
+    ctx_switches = 0;
+    busy = 0.;
+    bkl = None;
+  }
+
+let config t = t.config
+
+let engine t = t.engine
+
+let cache t = t.cache
+
+let rng t = t.root_rng
+
+let cycles_to_ns t c = c *. t.cycle_ns
+
+let run t = Engine.run t.engine
+
+let now_ns t = Engine.now t.engine
+
+let total_ctx_switches (t : t) = t.ctx_switches
+
+let busy_cycles t = t.busy
+
+let kernel_lock_contentions t = match t.bkl with Some mu -> mu.contentions | None -> 0
+
+(* --- scheduler ------------------------------------------------------- *)
+
+(* Give an idle CPU to the first ready thread, paying the switch cost as
+   CPU-busy time before the thread's continuation fires. *)
+let dispatch m cpu =
+  match cpu.current with
+  | Some _ -> ()
+  | None ->
+      if not (Queue.is_empty m.ready) then begin
+        let th = Queue.take m.ready in
+        cpu.current <- Some th;
+        th.state <- Running;
+        th.on_cpu <- cpu.cpu_id;
+        (* The first timer tick after a switch lands at a random phase of
+           the quantum, as hardware timer interrupts do. *)
+        th.quantum_left <- m.quantum_cycles *. (0.5 +. (0.5 *. Rng.float m.root_rng 1.0));
+        th.switches <- th.switches + 1;
+        m.ctx_switches <- m.ctx_switches + 1;
+        let switch = float_of_int m.config.ctx_switch_cycles in
+        m.busy <- m.busy +. switch;
+        th.cpu_cycles <- th.cpu_cycles +. switch;
+        let resume =
+          match th.resume with
+          | Some r -> r
+          | None -> invalid_arg "Machine: dispatching a thread that never parked"
+        in
+        th.resume <- None;
+        Engine.at m.engine (Engine.now m.engine +. cycles_to_ns m switch) resume
+      end
+
+let kick m = Array.iter (fun cpu -> dispatch m cpu) m.cpus
+
+let park_for_cpu th = Engine.park (fun r -> th.resume <- Some r)
+
+(* Release the CPU this thread is running on and let the scheduler hand it
+   to someone else. Caller decides where the thread itself goes. *)
+let release_cpu m th =
+  if th.on_cpu < 0 || th.on_cpu >= Array.length m.cpus then
+    invalid_arg (Printf.sprintf "Machine.release_cpu: thread %s has no CPU (state?)" th.tname);
+  let cpu = m.cpus.(th.on_cpu) in
+  (match cpu.current with
+  | Some cur when cur == th -> cpu.current <- None
+  | Some _ | None -> invalid_arg "Machine: thread releasing a CPU it does not hold");
+  dispatch m cpu
+
+let make_ready m th =
+  th.state <- Ready;
+  Queue.push th m.ready;
+  kick m
+
+(* Quantum expiry with other work waiting: back of the ready queue. *)
+let preempt m th =
+  th.state <- Ready;
+  Queue.push th m.ready;
+  release_cpu m th;
+  park_for_cpu th
+
+(* Consume CPU cycles, honoring quantum-based round-robin preemption. *)
+let rec consume th cycles =
+  if cycles > 0. then begin
+    let m = th.tproc.pm in
+    let slice = min cycles th.quantum_left in
+    Engine.delay (cycles_to_ns m slice);
+    th.cpu_cycles <- th.cpu_cycles +. slice;
+    m.busy <- m.busy +. slice;
+    th.quantum_left <- th.quantum_left -. slice;
+    if th.quantum_left <= 0. then begin
+      if Queue.is_empty m.ready then th.quantum_left <- m.quantum_cycles
+      else preempt m th
+    end;
+    consume th (cycles -. slice)
+  end
+
+let find_idle_cpu m =
+  let n = Array.length m.cpus in
+  let rec scan i = if i >= n then None else if m.cpus.(i).current = None then Some m.cpus.(i) else scan (i + 1) in
+  scan 0
+
+(* First scheduling of a brand-new thread. *)
+let acquire_cpu_initial m th =
+  match find_idle_cpu m with
+  | Some cpu ->
+      cpu.current <- Some th;
+      th.state <- Running;
+      th.on_cpu <- cpu.cpu_id;
+      th.quantum_left <- m.quantum_cycles *. (0.5 +. (0.5 *. Rng.float m.root_rng 1.0));
+      th.switches <- th.switches + 1;
+      m.ctx_switches <- m.ctx_switches + 1;
+      let switch = float_of_int m.config.ctx_switch_cycles in
+      m.busy <- m.busy +. switch;
+      th.cpu_cycles <- th.cpu_cycles +. switch;
+      Engine.delay (cycles_to_ns m switch)
+  | None ->
+      th.state <- Ready;
+      Queue.push th m.ready;
+      park_for_cpu th
+
+let work_exact_cycles th cycles = if cycles > 0 then consume th (float_of_int cycles)
+
+(* --- mutex mechanics (shared by Mutex and the kernel lock) ---------- *)
+
+let mutex_make mm mname =
+  { mname; mm; owner = None; waiters = Queue.create (); contentions = 0; acquisitions = 0 }
+
+let lock_op_cost th =
+  let cfg = th.tproc.pm.config in
+  if th.tproc.ever_multi then cfg.atomic_cycles else cfg.stub_lock_cycles
+
+let mutex_try_lock mu th =
+  work_exact_cycles th (lock_op_cost th);
+  match mu.owner with
+  | None ->
+      mu.owner <- Some th;
+      mu.acquisitions <- mu.acquisitions + 1;
+      true
+  | Some _ ->
+      mu.contentions <- mu.contentions + 1;
+      false
+
+(* Contended path: spin (on SMP, if configured), then either race a CAS
+   for a freed lock or block. Any time consumed between observing the
+   lock free and retiring the CAS can lose the race to another spinner,
+   hence the retry loop. *)
+let rec mutex_lock_slow mu th =
+  let m = mu.mm in
+  if m.config.spin_cycles > 0 && m.config.cpus > 1 then begin
+    let budget = ref m.config.spin_cycles in
+    while !budget > 0 && mu.owner <> None do
+      let step = min 8 !budget in
+      consume th (float_of_int step);
+      budget := !budget - step
+    done
+  end;
+  match mu.owner with
+  | None -> begin
+      work_exact_cycles th (lock_op_cost th);
+      match mu.owner with
+      | None ->
+          mu.owner <- Some th;
+          th.spin_wins <- th.spin_wins + 1;
+          mu.acquisitions <- mu.acquisitions + 1
+      | Some _ -> mutex_lock_slow mu th
+    end
+  | Some _ ->
+      th.blocks <- th.blocks + 1;
+      th.state <- Blocked;
+      Queue.push th mu.waiters;
+      release_cpu m th;
+      park_for_cpu th;
+      if m.config.mutex_handoff then
+        (* Woken by direct handoff: we already own the mutex. *)
+        mu.acquisitions <- mu.acquisitions + 1
+      else begin
+        (* Futex-style: we were merely woken; the lock may already be
+           gone to a barging spinner. Re-compete. *)
+        work_exact_cycles th (lock_op_cost th);
+        match mu.owner with
+        | None ->
+            mu.owner <- Some th;
+            mu.acquisitions <- mu.acquisitions + 1
+        | Some _ -> mutex_lock_slow mu th
+      end
+
+let mutex_lock mu th =
+  work_exact_cycles th (lock_op_cost th);
+  match mu.owner with
+  | None ->
+      mu.owner <- Some th;
+      mu.acquisitions <- mu.acquisitions + 1
+  | Some _ ->
+      mu.contentions <- mu.contentions + 1;
+      mutex_lock_slow mu th
+
+let mutex_unlock mu th =
+  (match mu.owner with
+  | Some cur when cur == th -> ()
+  | Some _ | None -> invalid_arg "Mutex.unlock: not the owner");
+  work_exact_cycles th (lock_op_cost th);
+  match Queue.take_opt mu.waiters with
+  | Some w ->
+      if mu.mm.config.mutex_handoff then begin
+        (* Direct handoff: the waiter owns the lock before it even runs,
+           which is what produces lock convoys under heavy contention. *)
+        mu.owner <- Some w;
+        work_exact_cycles th mu.mm.config.wake_cycles;
+        make_ready mu.mm w
+      end
+      else begin
+        (* Barging: free the lock, wake the waiter, let it re-compete. *)
+        mu.owner <- None;
+        work_exact_cycles th mu.mm.config.wake_cycles;
+        make_ready mu.mm w
+      end
+  | None -> mu.owner <- None
+
+(* The 2.2-era kernel serialized VM syscalls behind the big kernel lock
+   (the paper patched sbrk to avoid it, mm/mmap.c in 2.3.5-2.3.7). *)
+let kernel_lock m =
+  match m.bkl with
+  | Some mu -> mu
+  | None ->
+      let mu = mutex_make m "kernel-bkl" in
+      m.bkl <- Some mu;
+      mu
+
+(* --- processes -------------------------------------------------------- *)
+
+let libc_base = 0x4000_0000
+
+let libc_bytes = 0x0010_0000
+
+let libc_data_address = libc_base + 0x8000
+
+let startup_pages = 12
+
+let create_proc m ?name () =
+  let pname = match name with Some n -> n | None -> Printf.sprintf "proc-%d" m.next_tid in
+  let pvm = As.create m.config.vm in
+  (* Text, data and libc occupy fixed mappings; program startup touches a
+     handful of their pages — the constant term of benchmark 2's fault
+     predictor. *)
+  As.map_fixed pvm libc_base ~len:libc_bytes;
+  let page = As.page_size pvm in
+  ignore (As.touch pvm libc_base ~len:(startup_pages * page));
+  let pasid = m.next_asid in
+  m.next_asid <- pasid + 1;
+  { pname; pasid; pm = m; pvm; prng = Rng.split m.root_rng; live_threads = 0; ever_multi = false }
+
+let proc_vm p = p.pvm
+
+let proc_machine p = p.pm
+
+let proc_multithreaded p = p.ever_multi
+
+let proc_name p = p.pname
+
+(* --- thread lifecycle -------------------------------------------------- *)
+
+let elapsed_ns th =
+  if th.state <> Finished then invalid_arg "Machine.elapsed_ns: thread still running";
+  th.finish_ns -. th.spawn_ns
+
+let thread_name th = th.tname
+
+let thread_stats (th : thread) : thread_stats =
+  { cpu_cycles = th.cpu_cycles;
+    ctx_switches = th.switches;
+    blocks = th.blocks;
+    spins = th.spin_wins;
+    page_faults = th.faults;
+  }
+
+let page_in th addr ~len =
+  let m = th.tproc.pm in
+  let faults = As.touch th.tproc.pvm addr ~len in
+  if faults > 0 then begin
+    th.faults <- th.faults + faults;
+    consume th (float_of_int (faults * m.config.minor_fault_cycles))
+  end
+
+let work_exact = work_exact_cycles
+
+let work th cycles =
+  if cycles > 0 then begin
+    let j = Rng.jitter th.trng th.tproc.pm.config.op_jitter in
+    consume th (float_of_int cycles *. j)
+  end
+
+let spawn p ?name body =
+  let m = p.pm in
+  let tid = m.next_tid in
+  m.next_tid <- tid + 1;
+  let tname = match name with Some n -> n | None -> Printf.sprintf "%s/t%d" p.pname tid in
+  let th =
+    { tid;
+      tname;
+      tproc = p;
+      trng = Rng.split p.prng;
+      state = Starting;
+      resume = None;
+      on_cpu = -1;
+      quantum_left = 0.;
+      spawn_ns = Engine.now m.engine;
+      finish_ns = nan;
+      cpu_cycles = 0.;
+      switches = 0;
+      blocks = 0;
+      spin_wins = 0;
+      faults = 0;
+      stack_addr = -1;
+      hooks = [];
+      joiners = Queue.create ();
+    }
+  in
+  p.live_threads <- p.live_threads + 1;
+  if p.live_threads >= 2 then p.ever_multi <- true;
+  ignore
+    (Engine.spawn m.engine ~name:tname (fun () ->
+         acquire_cpu_initial m th;
+         (* pthread_create: kernel work plus a freshly mapped stack whose
+            first page faults in — the paper's ~1 page per thread. *)
+         work_exact th m.config.thread_spawn_cycles;
+         (match As.mmap p.pvm ~len:thread_stack_bytes with
+         | Some a ->
+             th.stack_addr <- a;
+             page_in th a ~len:1
+         | None -> failwith "Machine.spawn: address space exhausted for thread stack");
+         body th;
+         List.iter (fun hook -> hook ()) (List.rev th.hooks);
+         As.munmap p.pvm th.stack_addr ~len:thread_stack_bytes;
+         th.finish_ns <- Engine.now m.engine;
+         th.state <- Finished;
+         p.live_threads <- p.live_threads - 1;
+         Queue.iter (fun joiner -> make_ready m joiner) th.joiners;
+         Queue.clear th.joiners;
+         release_cpu m th));
+  th
+
+let exit_hook th hook = th.hooks <- hook :: th.hooks
+
+let join th target =
+  if target.state <> Finished then begin
+    let m = th.tproc.pm in
+    th.state <- Blocked;
+    Queue.push th target.joiners;
+    release_cpu m th;
+    park_for_cpu th
+  end
+
+(* --- ctx accessors ----------------------------------------------------- *)
+
+let now th = Engine.now th.tproc.pm.engine
+
+let tid th = th.tid
+
+let cpu th = th.on_cpu
+
+let proc th = th.tproc
+
+let machine th = th.tproc.pm
+
+let ctx_rng th = th.trng
+
+(* --- memory ------------------------------------------------------------ *)
+
+(* The cache is physically indexed: identical virtual addresses in
+   different processes must not collide, so fold the address-space id
+   into the physical address. *)
+let phys th addr = (th.tproc.pasid lsl 40) lor addr
+
+let read_mem th addr =
+  page_in th addr ~len:1;
+  let cost = Coherence.read th.tproc.pm.cache ~cpu:th.on_cpu (phys th addr) in
+  consume th (float_of_int cost)
+
+let write_mem th addr =
+  page_in th addr ~len:1;
+  let cost = Coherence.write th.tproc.pm.cache ~cpu:th.on_cpu (phys th addr) in
+  consume th (float_of_int cost)
+
+let write_mem_repeated th addr ~count =
+  page_in th addr ~len:1;
+  let cost = Coherence.write_repeated th.tproc.pm.cache ~cpu:th.on_cpu (phys th addr) ~count in
+  consume th (float_of_int cost)
+
+let touch_range th addr ~len = page_in th addr ~len
+
+(* VM syscalls: kernel entry cost, plus the big kernel lock when the
+   config models a pre-2.3.5 kernel (paper section 3). *)
+let with_vm_syscall th f =
+  let m = th.tproc.pm in
+  (* Entry/exit runs outside any kernel lock; the VM manipulation itself
+     (the bulk of the cycles) is what pre-2.3.5 kernels serialized. *)
+  let entry = m.config.syscall_cycles * 3 / 10 in
+  let vm_work = m.config.syscall_cycles - entry in
+  work_exact th entry;
+  if m.config.vm_syscalls_take_bkl then begin
+    let bkl = kernel_lock m in
+    mutex_lock bkl th;
+    work_exact th vm_work;
+    let r = f () in
+    mutex_unlock bkl th;
+    r
+  end
+  else begin
+    work_exact th vm_work;
+    f ()
+  end
+
+let sbrk th delta = with_vm_syscall th (fun () -> As.sbrk th.tproc.pvm delta)
+
+let mmap th ~len = with_vm_syscall th (fun () -> As.mmap th.tproc.pvm ~len)
+
+let munmap th addr ~len = with_vm_syscall th (fun () -> As.munmap th.tproc.pvm addr ~len)
+
+(* --- latches ------------------------------------------------------------ *)
+
+module Latch = struct
+  type machine = t
+
+  type t = { lm : machine; mutable set : bool; waiters : thread Queue.t }
+
+  let create lm = { lm; set = false; waiters = Queue.create () }
+
+  let wait l th =
+    if not l.set then begin
+      th.state <- Blocked;
+      Queue.push th l.waiters;
+      release_cpu l.lm th;
+      park_for_cpu th
+    end
+
+  let signal l _ctx =
+    if not l.set then begin
+      l.set <- true;
+      Queue.iter (fun w -> make_ready l.lm w) l.waiters;
+      Queue.clear l.waiters
+    end
+
+  let is_set l = l.set
+end
+
+(* --- mutexes ------------------------------------------------------------ *)
+
+module Mutex = struct
+  type t = mutex
+
+  let create mm ?name () =
+    let mname = match name with Some n -> n | None -> "mutex" in
+    mutex_make mm mname
+
+  let try_lock = mutex_try_lock
+
+  let lock = mutex_lock
+
+  let unlock = mutex_unlock
+
+  let contentions mu = mu.contentions
+
+  let acquisitions mu = mu.acquisitions
+
+  let name mu = mu.mname
+end

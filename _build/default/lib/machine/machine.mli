@@ -1,0 +1,230 @@
+(** A simulated shared-memory multiprocessor.
+
+    Builds the paper's experimental platform out of the event engine:
+    [cpus] processors scheduling simulated threads round-robin with a
+    quantum, context-switch costs, processes with private address spaces,
+    kernel-ish mutexes (try-lock, adaptive spin, block with direct
+    handoff), demand paging charges, and a shared cache-coherence model.
+
+    Thread bodies receive a {!ctx} capability; every operation on it
+    consumes simulated time on the thread's current CPU. All
+    nondeterminism comes from the machine's seed. *)
+
+type t
+
+type proc
+(** A process: private address space, one or more threads. *)
+
+type thread
+
+type ctx
+(** Capability handed to a running thread's body. *)
+
+type config = {
+  cpus : int;
+  mhz : float;                  (** clock rate; 1 cycle = 1000/mhz ns *)
+  quantum_us : float;           (** scheduler time slice *)
+  ctx_switch_cycles : int;      (** charged whenever a CPU switches threads *)
+  atomic_cycles : int;          (** lock/unlock atomic op in a multithreaded process *)
+  stub_lock_cycles : int;       (** lock/unlock stub in a single-threaded process *)
+  spin_cycles : int;            (** adaptive-mutex spin budget before blocking; 0 = block immediately (the Solaris 2.6 default-mutex behaviour); spinning is skipped on uniprocessors *)
+  mutex_handoff : bool;         (** true: unlock hands the mutex directly to the first blocked waiter (Solaris-style, forms convoys). false: unlock frees the mutex and merely wakes a waiter, which must re-compete with spinners (futex-style barging). *)
+  wake_cycles : int;            (** charged to a thread waking a blocked waiter *)
+  syscall_cycles : int;         (** kernel entry/exit for sbrk/mmap/munmap *)
+  vm_syscalls_take_bkl : bool;  (** serialize sbrk/mmap/munmap machine-wide behind the big kernel lock, as pre-2.3.5 Linux did (paper section 3) *)
+  minor_fault_cycles : int;     (** servicing one minor page fault *)
+  thread_spawn_cycles : int;    (** pthread_create work beyond paging *)
+  op_jitter : float;            (** ± relative noise on {!work} durations *)
+  cache : Mb_cache.Coherence.config;
+  vm : Mb_vm.Address_space.config;
+}
+
+val default_config : config
+(** A generic 2-CPU machine; presets for the paper's hosts live in
+    {!Configs}. *)
+
+val create : ?seed:int -> config -> t
+(** Fresh machine. Equal seeds and programs give identical runs. *)
+
+val config : t -> config
+
+val engine : t -> Mb_sim.Engine.t
+
+val cache : t -> Mb_cache.Coherence.t
+
+val rng : t -> Mb_prng.Rng.t
+(** The machine's root random stream (split it; don't share). *)
+
+val cycles_to_ns : t -> float -> float
+
+val run : t -> unit
+(** Run the simulation until every spawned thread has finished.
+    @raise Mb_sim.Engine.Stalled on deadlock. *)
+
+val now_ns : t -> float
+
+val total_ctx_switches : t -> int
+
+val busy_cycles : t -> float
+(** Total cycles during which some thread held a CPU; utilization is
+    [busy_cycles / (cpus * now / cycle_ns)]. *)
+
+val kernel_lock_contentions : t -> int
+(** VM syscalls that found the big kernel lock held (0 when
+    [vm_syscalls_take_bkl] is off or never contended). *)
+
+(** {1 Processes} *)
+
+val create_proc : t -> ?name:string -> unit -> proc
+(** Creates a process: sets up its address space (binary + libc mappings),
+    touches the startup pages, and accounts their minor faults. No thread
+    runs until {!spawn}ed. *)
+
+val proc_vm : proc -> Mb_vm.Address_space.t
+
+val proc_machine : proc -> t
+
+val proc_multithreaded : proc -> bool
+(** True once the process has ever had two or more live threads; real
+    libc switches from stub to atomic locking at that point, and so does
+    the simulated one (the flag is sticky). *)
+
+val proc_name : proc -> string
+
+val libc_data_address : int
+(** Base address of the (fixed-mapped, touchable) libc data segment in
+    every process; allocators place their global hot words here, which is
+    what lets the cache model see "allocator variable" sloshing. *)
+
+(** {1 Threads} *)
+
+val spawn : proc -> ?name:string -> (ctx -> unit) -> thread
+(** Create a thread of [proc]. The thread maps and touches a stack when it
+    first runs (the paper's ~1 page per [pthread_create]), then executes
+    the body. Callable from setup code or from inside another thread. *)
+
+val elapsed_ns : thread -> float
+(** Wall-clock (simulated) time from spawn to exit. Only meaningful after
+    {!run} completes or the thread has exited.
+    @raise Invalid_argument if the thread has not finished. *)
+
+val thread_name : thread -> string
+
+type thread_stats = {
+  cpu_cycles : float;       (** cycles of CPU actually consumed *)
+  ctx_switches : int;       (** times this thread was put on a CPU *)
+  blocks : int;             (** times it blocked on a mutex *)
+  spins : int;              (** contended acquisitions resolved by spinning *)
+  page_faults : int;        (** minor faults it triggered *)
+}
+
+val thread_stats : thread -> thread_stats
+
+(** {1 Operations inside a thread}
+
+    All of these must be called from within the thread body that received
+    the [ctx]. *)
+
+val work : ctx -> int -> unit
+(** Consume the given number of CPU cycles (perturbed by [op_jitter]).
+    May be preempted at quantum boundaries. *)
+
+val work_exact : ctx -> int -> unit
+(** Like {!work} but without jitter; for calibration paths. *)
+
+val now : ctx -> float
+(** Simulated nanoseconds. *)
+
+val tid : ctx -> int
+
+val cpu : ctx -> int
+(** CPU currently executing this thread. *)
+
+val proc : ctx -> proc
+
+val machine : ctx -> t
+
+val ctx_rng : ctx -> Mb_prng.Rng.t
+(** Per-thread random stream. *)
+
+val read_mem : ctx -> int -> unit
+(** Simulate a load: demand-page the address (charging fault cost if it is
+    a first touch) and charge the coherence cost of the access. *)
+
+val write_mem : ctx -> int -> unit
+(** Simulate a store, as {!read_mem}. *)
+
+val write_mem_repeated : ctx -> int -> count:int -> unit
+(** [count] back-to-back stores to one address (benchmark 3's loop); cost
+    comes from {!Mb_cache.Coherence.write_repeated} plus paging. *)
+
+val touch_range : ctx -> int -> len:int -> unit
+(** Demand-page a byte range without cache traffic (bulk initialization),
+    charging fault service time per newly resident page. *)
+
+val sbrk : ctx -> int -> int option
+(** The [sbrk] system call: charges kernel entry cost and moves the
+    process break. *)
+
+val mmap : ctx -> len:int -> int option
+
+val munmap : ctx -> int -> len:int -> unit
+
+val join : ctx -> thread -> unit
+(** Block until the target thread (of any process) exits. *)
+
+val exit_hook : ctx -> (unit -> unit) -> unit
+(** Register a callback to run (in simulation context) when the thread's
+    body returns; used by the workloads to sample statistics at exit. *)
+
+(** {1 Synchronization} *)
+
+(** A one-shot latch: threads {!Latch.wait} until someone {!Latch.signal}s;
+    after that, waits return immediately. The workloads use it to let a
+    main thread sleep until the last of a set of dynamically created
+    threads finishes (benchmark 2's thread chains). *)
+module Latch : sig
+  type machine := t
+
+  type t
+
+  val create : machine -> t
+
+  val wait : t -> ctx -> unit
+
+  val signal : t -> ctx -> unit
+  (** Releases current and future waiters. Idempotent. *)
+
+  val is_set : t -> bool
+end
+
+module Mutex : sig
+  type machine := t
+
+  type t
+
+  val create : machine -> ?name:string -> unit -> t
+
+  val lock : t -> ctx -> unit
+  (** Charges the lock-op cost ({!field-atomic_cycles} or
+      {!field-stub_lock_cycles} depending on the process), then acquires:
+      immediately if free; after spinning if the config allows and the
+      machine is an SMP; otherwise blocks until handed the lock. *)
+
+  val try_lock : t -> ctx -> bool
+  (** Non-blocking acquire; charges the lock-op cost either way. *)
+
+  val unlock : t -> ctx -> unit
+  (** Releases. If waiters are blocked: with [mutex_handoff] the lock is
+      handed directly to the first waiter (convoy-forming); otherwise the
+      lock is freed and the waiter merely woken to re-compete with any
+      barging spinners. Either way the unlocker pays [wake_cycles].
+      @raise Invalid_argument if not held by the calling thread. *)
+
+  val contentions : t -> int
+  (** Lock attempts that found the mutex held. *)
+
+  val acquisitions : t -> int
+
+  val name : t -> string
+end

@@ -1,0 +1,1 @@
+lib/report/plot.ml: Array Buffer List Mb_stats Printf String

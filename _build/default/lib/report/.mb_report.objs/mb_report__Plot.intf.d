@@ -1,0 +1,1 @@
+lib/report/plot.mli: Mb_stats

@@ -1,0 +1,48 @@
+module Series = Mb_stats.Series
+
+let escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let of_rows rows =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map escape row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let of_series series =
+  let xs =
+    List.sort_uniq compare (List.concat_map (fun s -> Series.xs s) series)
+  in
+  let header =
+    "x"
+    :: List.concat_map
+         (fun (s : Series.t) -> [ s.Series.label; s.Series.label ^ "_err" ])
+         series
+  in
+  let row_of x =
+    Printf.sprintf "%g" x
+    :: List.concat_map
+         (fun (s : Series.t) ->
+           match List.find_opt (fun (p : Series.point) -> p.Series.x = x) s.Series.points with
+           | Some p -> [ Printf.sprintf "%g" p.Series.y; Printf.sprintf "%g" p.Series.err ]
+           | None -> [ ""; "" ])
+         series
+  in
+  of_rows (header :: List.map row_of xs)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

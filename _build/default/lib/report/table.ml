@@ -1,0 +1,50 @@
+type line = Cells of string list | Note of string
+
+type t = {
+  title : string;
+  header : string list;
+  mutable lines : line list;  (* reversed *)
+}
+
+let make ~title ~header = { title; header; lines = [] }
+
+let row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.row: cell count does not match header";
+  t.lines <- Cells cells :: t.lines
+
+let rowf t fmt = Printf.ksprintf (fun s -> t.lines <- Note s :: t.lines) fmt
+
+let to_string t =
+  let lines = List.rev t.lines in
+  let widths = Array.of_list (List.map String.length t.header) in
+  List.iter
+    (function
+      | Cells cells ->
+          List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+      | Note _ -> ())
+    lines;
+  let buf = Buffer.create 256 in
+  let pad i s = Printf.sprintf "%-*s" widths.(i) s in
+  let render cells = "| " ^ String.concat " | " (List.mapi pad cells) ^ " |" in
+  let total_width = Array.fold_left ( + ) 0 widths + (3 * Array.length widths) + 1 in
+  let rule = String.make total_width '-' in
+  Buffer.add_string buf (t.title ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (render t.header ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter
+    (function
+      | Cells cells -> Buffer.add_string buf (render cells ^ "\n")
+      | Note s -> Buffer.add_string buf ("| " ^ s ^ "\n"))
+    lines;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print t =
+  print_endline (to_string t);
+  print_newline ()
+
+let cell_f x = Printf.sprintf "%.6f" x
+
+let cell_f2 x = Printf.sprintf "%.2f" x

@@ -1,0 +1,25 @@
+(** Fixed-width ASCII tables for the benchmark harness output. *)
+
+type t
+
+val make : title:string -> header:string list -> t
+(** A table with column headers; rows are appended with {!row}. *)
+
+val row : t -> string list -> unit
+(** Appends a row; must have as many cells as the header. *)
+
+val rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [rowf t fmt ...] formats one string and appends it as a full-width
+    row (used for notes / separators). *)
+
+val to_string : t -> string
+(** Renders with column widths fitted to content. *)
+
+val print : t -> unit
+(** [to_string] to stdout, followed by a blank line. *)
+
+val cell_f : float -> string
+(** Standard 6-decimal numeric cell, matching the paper's precision. *)
+
+val cell_f2 : float -> string
+(** 2-decimal cell for derived quantities. *)

@@ -1,0 +1,103 @@
+type pid = int
+
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Pqueue.t;
+  mutable next_pid : int;
+  mutable live : int;
+  parked : (pid, string) Hashtbl.t;  (* processes currently suspended *)
+}
+
+exception Stalled of string
+
+type _ Effect.t += Delay : float -> unit Effect.t
+type _ Effect.t += Park : ((unit -> unit) -> unit) -> unit Effect.t
+
+let create () =
+  { clock = 0.; queue = Pqueue.create (); next_pid = 0; live = 0; parked = Hashtbl.create 16 }
+
+let now t = t.clock
+
+let at t time thunk =
+  if time < t.clock then invalid_arg "Engine.at: time in the past";
+  Pqueue.push t.queue ~time thunk
+
+let delay d = Effect.perform (Delay d)
+
+let park register = Effect.perform (Park register)
+
+let yield () = delay 0.
+
+(* Run one step of a process body under the engine's effect handler. The
+   handler is installed once per process; continuations captured by Delay
+   and Park re-enter it automatically (deep handlers). *)
+let start t pid name body =
+  let open Effect.Deep in
+  let finish () =
+    t.live <- t.live - 1;
+    Hashtbl.remove t.parked pid
+  in
+  let handler =
+    { effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  if d < 0. then
+                    discontinue k (Invalid_argument "Engine.delay: negative delay")
+                  else at t (t.clock +. d) (fun () -> continue k ()))
+          | Park register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  Hashtbl.replace t.parked pid name;
+                  let resumed = ref false in
+                  let resume () =
+                    if !resumed then
+                      invalid_arg (Printf.sprintf "Engine: process %s resumed twice" name);
+                    resumed := true;
+                    Hashtbl.remove t.parked pid;
+                    at t t.clock (fun () -> continue k ())
+                  in
+                  register resume)
+          | _ -> None)
+    }
+  in
+  match_with
+    (fun () ->
+      body ();
+      finish ())
+    ()
+    { retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          let bt = Printexc.get_raw_backtrace () in
+          finish ();
+          Printexc.raise_with_backtrace e bt);
+      effc = handler.effc
+    }
+
+let spawn t ?name body =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let name = match name with Some n -> n | None -> Printf.sprintf "proc-%d" pid in
+  t.live <- t.live + 1;
+  at t t.clock (fun () -> start t pid name body);
+  pid
+
+let run t =
+  let rec loop () =
+    match Pqueue.pop t.queue with
+    | Some (time, thunk) ->
+        t.clock <- time;
+        thunk ();
+        loop ()
+    | None ->
+        if Hashtbl.length t.parked > 0 then begin
+          let names = Hashtbl.fold (fun _ name acc -> name :: acc) t.parked [] in
+          raise (Stalled (String.concat ", " (List.sort compare names)))
+        end
+  in
+  loop ()
+
+let live t = t.live

@@ -1,0 +1,58 @@
+(** Discrete-event simulation engine.
+
+    Simulated processes are ordinary OCaml functions run as coroutines via
+    effect handlers: inside a process, {!delay} advances simulated time and
+    {!park} suspends until something calls the supplied resume function.
+    The engine is single-threaded and deterministic: events at equal times
+    fire in scheduling order.
+
+    Time is in simulated nanoseconds (a [float]); the engine itself attaches
+    no meaning to the unit. *)
+
+type t
+(** An engine instance: a clock plus a pending-event queue. *)
+
+type pid = int
+(** Process identifier, unique within an engine. *)
+
+exception Stalled of string
+(** Raised by {!run} when the event queue drains while parked processes
+    remain — the simulation's notion of deadlock. The payload lists the
+    stuck processes. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> pid
+(** [spawn t f] registers [f] as a process starting at the current time.
+    May be called before {!run} or from within a running process. If [f]
+    raises, the exception propagates out of {!run}. *)
+
+val at : t -> float -> (unit -> unit) -> unit
+(** [at t time thunk] schedules a bare callback (not a process: it must not
+    perform {!delay} or {!park}) at absolute [time]. *)
+
+val run : t -> unit
+(** Drain the event queue. Returns when no events remain and no process is
+    parked. @raise Stalled on deadlock. *)
+
+val live : t -> int
+(** Number of spawned processes that have not finished. *)
+
+val delay : float -> unit
+(** Advance this process's simulated time. Only valid inside a process
+    spawned on some engine; raises [Effect.Unhandled] elsewhere. *)
+
+val park : ((unit -> unit) -> unit) -> unit
+(** [park register] suspends the calling process and passes its one-shot
+    resume function to [register] (called before [park] returns control to
+    the engine). Calling the resume function schedules the process to
+    continue at the then-current simulated time; calling it twice raises
+    [Invalid_argument]. *)
+
+val yield : unit -> unit
+(** Re-enter the event queue at the current time: lets other processes
+    scheduled for "now" run first. Equivalent to [delay 0.] but conveys
+    intent. *)

@@ -1,0 +1,21 @@
+(** Priority queue of timestamped events for the discrete-event engine.
+
+    Orders by time; ties are broken by insertion sequence number so the
+    simulation is deterministic regardless of heap internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an event at the given simulated time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event (FIFO among equal times). *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event without removing it. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

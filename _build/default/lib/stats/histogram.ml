@@ -1,0 +1,51 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if lo >= hi then invalid_arg "Histogram.create: lo >= hi";
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; total = 0 }
+
+let bin_of t x =
+  let i = int_of_float ((x -. t.lo) /. t.width) in
+  let last = Array.length t.counts - 1 in
+  if i < 0 then 0 else if i > last then last else i
+
+let add t x =
+  t.counts.(bin_of t x) <- t.counts.(bin_of t x) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let bin_count t i = t.counts.(i)
+
+let bin_bounds t i =
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let modes t =
+  let n = Array.length t.counts in
+  let get i = if i < 0 || i >= n then 0 else t.counts.(i) in
+  let is_mode i =
+    t.counts.(i) > 0
+    && ((get i > get (i - 1) && get i >= get (i + 1))
+       || (get i >= get (i - 1) && get i > get (i + 1)))
+  in
+  let rec collect i acc = if i >= n then List.rev acc else collect (i + 1) (if is_mode i then i :: acc else acc) in
+  collect 0 []
+
+let pp fmt t =
+  let maxc = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let lo, hi = bin_bounds t i in
+        let bar = String.make (max 1 (c * 40 / maxc)) '#' in
+        Format.fprintf fmt "[%8.3f, %8.3f) %4d %s@." lo hi c bar
+      end)
+    t.counts

@@ -1,0 +1,37 @@
+(** Labeled (x, y) data series — the unit of exchange between workloads,
+    experiment harnesses, plots, and CSV export. A figure in the paper is a
+    list of series sharing an x axis. *)
+
+type point = {
+  x : float;
+  y : float;          (** the headline value (typically a mean) *)
+  err : float;        (** error bar half-height, e.g. a standard deviation *)
+}
+
+type t = {
+  label : string;
+  points : point list;
+}
+
+val make : label:string -> (float * float) list -> t
+(** Series with zero error bars. *)
+
+val make_err : label:string -> (float * float * float) list -> t
+(** Series from (x, y, err) triples. *)
+
+val of_summaries : label:string -> (float * Summary.t) list -> t
+(** Each point takes y = mean and err = stddev of its summary. *)
+
+val xs : t -> float list
+val ys : t -> float list
+
+val y_at : t -> float -> float
+(** [y_at t x] is the y of the point with the given x.
+    @raise Not_found if absent. *)
+
+val map_y : (float -> float) -> t -> t
+
+val max_y : t -> float
+(** Largest y in the series. Raises [Invalid_argument] on empty series. *)
+
+val min_y : t -> float

@@ -1,0 +1,51 @@
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  sum : float;
+}
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_array: empty sample";
+  let sum = Array.fold_left ( +. ) 0. xs in
+  let mean = sum /. float_of_int n in
+  let sq_dev = Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. xs in
+  let stddev = if n < 2 then 0. else sqrt (sq_dev /. float_of_int (n - 1)) in
+  let mn = Array.fold_left min xs.(0) xs in
+  let mx = Array.fold_left max xs.(0) xs in
+  { n; mean; stddev; min = mn; max = mx; sum }
+
+let of_list xs =
+  if xs = [] then invalid_arg "Summary.of_list: empty sample";
+  of_array (Array.of_list xs)
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Summary.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Summary.percentile: p out of range";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (ys.(lo) *. (1. -. frac)) +. (ys.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.
+
+let coefficient_of_variation t = if t.mean = 0. then 0. else t.stddev /. t.mean
+
+let spread t = if t.min = 0. then 0. else (t.max -. t.min) /. t.min
+
+let pp fmt t =
+  Format.fprintf fmt "mean=%.6f s=%.6f n=%d" t.mean t.stddev t.n

@@ -1,0 +1,1 @@
+lib/vm/address_space.ml: Hashtbl Int Map

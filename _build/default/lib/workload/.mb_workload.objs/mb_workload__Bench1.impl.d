@@ -1,0 +1,1 @@
+lib/workload/bench1.ml: Factory List Mb_alloc Mb_machine Printf

@@ -1,0 +1,1 @@
+lib/workload/bench1.mli: Factory Mb_machine

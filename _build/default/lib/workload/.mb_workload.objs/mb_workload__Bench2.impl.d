@@ -1,0 +1,1 @@
+lib/workload/bench2.ml: Array Factory List Mb_alloc Mb_machine Mb_prng Mb_vm Printf

@@ -1,0 +1,1 @@
+lib/workload/bench2.mli: Factory Mb_machine

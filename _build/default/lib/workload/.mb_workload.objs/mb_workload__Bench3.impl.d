@@ -1,0 +1,1 @@
+lib/workload/bench3.ml: Factory Hashtbl List Mb_alloc Mb_cache Mb_machine Mb_prng Mb_stats

@@ -1,0 +1,1 @@
+lib/workload/bench3.mli: Factory Mb_machine Mb_stats

@@ -1,0 +1,1 @@
+lib/workload/factory.ml: Hashtbl Mb_alloc Mb_machine

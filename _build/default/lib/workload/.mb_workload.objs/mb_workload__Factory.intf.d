@@ -1,0 +1,1 @@
+lib/workload/factory.mli: Mb_alloc Mb_machine

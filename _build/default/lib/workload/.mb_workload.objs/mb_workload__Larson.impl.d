@@ -1,0 +1,1 @@
+lib/workload/larson.ml: Array Factory Mb_alloc Mb_machine Mb_prng Mb_vm Printf

@@ -1,0 +1,1 @@
+lib/workload/larson.mli: Factory Mb_machine

@@ -1,0 +1,1 @@
+lib/workload/latency.ml: Hashtbl List Mb_alloc Mb_machine Mb_stats

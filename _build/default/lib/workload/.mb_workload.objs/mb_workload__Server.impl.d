@@ -1,0 +1,1 @@
+lib/workload/server.ml: Array Factory Latency List Mb_alloc Mb_machine Mb_prng Mb_stats Printf Trace

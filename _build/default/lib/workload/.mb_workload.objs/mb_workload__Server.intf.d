@@ -1,0 +1,1 @@
+lib/workload/server.mli: Factory Mb_machine

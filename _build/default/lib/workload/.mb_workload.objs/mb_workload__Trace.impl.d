@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Mb_alloc Mb_machine Mb_prng Printf

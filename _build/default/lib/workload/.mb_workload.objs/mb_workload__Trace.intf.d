@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Mb_alloc Mb_machine Mb_prng

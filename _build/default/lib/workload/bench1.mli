@@ -1,0 +1,44 @@
+(** Benchmark 1 — multithread scalability (paper section 4.1).
+
+    Each worker performs a balanced [malloc]/[free] loop of one request
+    size and times itself. Two deployment modes mirror the paper's
+    comparison: [Threads] share one C library (one process, one
+    allocator); [Processes] give each worker its own process and
+    allocator instance.
+
+    The paper runs 10 million pairs per worker; simulating that many is
+    pointless (the loop is steady-state), so [iterations] is typically
+    50k and results are reported scaled to [paper_iterations]. *)
+
+type mode = Threads | Processes
+
+type params = {
+  machine : Mb_machine.Machine.config;
+  seed : int;
+  workers : int;
+  mode : mode;
+  iterations : int;        (** per worker *)
+  size : int;              (** request bytes *)
+  factory : Factory.t;
+  paper_iterations : int;  (** scale reference, 10_000_000 in the paper *)
+}
+
+val default : params
+(** 2 threads, 512 B, ptmalloc on the dual Pentium Pro, 50k iterations. *)
+
+type result = {
+  params : params;
+  elapsed_s : float list;        (** per worker, simulated seconds, unscaled *)
+  scaled_s : float list;         (** per worker, scaled to [paper_iterations] *)
+  ctx_switches : int;
+  lock_contended_ops : int;      (** allocator ops that hit a busy lock *)
+  arenas : int;                  (** subheaps at the end (threads mode; summed in process mode) *)
+  blocks : int;                  (** mutex blocks summed over workers *)
+  utilization : float;           (** busy cycles / (cpus * makespan) *)
+}
+
+val run : params -> result
+
+val mean_scaled : result -> float
+
+val max_scaled : result -> float

@@ -1,0 +1,127 @@
+module M = Mb_machine.Machine
+module A = Mb_alloc.Allocator
+module As = Mb_vm.Address_space
+module Rng = Mb_prng.Rng
+
+type params = {
+  machine : M.config;
+  seed : int;
+  threads : int;
+  rounds : int;
+  objects_per_thread : int;
+  replacements_per_round : int;
+  size : int;
+  factory : Factory.t;
+}
+
+let default =
+  { machine = Mb_machine.Configs.uni_k6;
+    seed = 1;
+    threads = 1;
+    rounds = 1;
+    objects_per_thread = 10_000;
+    replacements_per_round = 2_000;
+    size = 40;
+    factory = Factory.ptmalloc ();
+  }
+
+type result = {
+  params : params;
+  minor_faults : int;
+  resident_pages : int;
+  mapped_bytes : int;
+  sbrk_calls : int;
+  mmap_calls : int;
+  arenas_created : int;
+  foreign_frees : int;
+  elapsed_s : float;
+}
+
+let run params =
+  if params.threads <= 0 || params.rounds <= 0 then invalid_arg "Bench2.run: bad params";
+  let m = M.create ~seed:params.seed params.machine in
+  let proc = M.create_proc m ~name:"bench2" () in
+  let alloc = params.factory.Factory.create proc in
+  let latch = M.Latch.create m in
+  let chains_left = ref params.threads in
+  (* A worker replaces objects (freeing storage allocated by its
+     predecessor thread while the heap is under contention — the paper's
+     two conditions for leakage), then hands the array to a fresh thread. *)
+  let rec worker chain round arr ctx =
+    let rng = M.ctx_rng ctx in
+    for _ = 1 to params.replacements_per_round do
+      let j = Rng.int rng (Array.length arr) in
+      alloc.A.free ctx arr.(j);
+      let user = alloc.A.malloc ctx params.size in
+      M.touch_range ctx user ~len:params.size;
+      arr.(j) <- user
+    done;
+    if round < params.rounds then
+      ignore (M.spawn (M.proc ctx) ~name:(Printf.sprintf "c%d-r%d" chain (round + 1)) (worker chain (round + 1) arr))
+    else begin
+      decr chains_left;
+      if !chains_left = 0 then M.Latch.signal latch ctx
+    end
+  in
+  let main =
+    M.spawn proc ~name:"main" (fun ctx ->
+        let arrays =
+          Array.init params.threads (fun _ ->
+              Array.init params.objects_per_thread (fun _ ->
+                  let user = alloc.A.malloc ctx params.size in
+                  M.touch_range ctx user ~len:params.size;
+                  user))
+        in
+        (* The address arrays themselves live on the heap too. *)
+        let array_bytes = params.objects_per_thread * 4 in
+        let array_blocks =
+          Array.map
+            (fun _ ->
+              let user = alloc.A.malloc ctx array_bytes in
+              M.touch_range ctx user ~len:array_bytes;
+              user)
+            arrays
+        in
+        Array.iteri
+          (fun i arr -> ignore (M.spawn proc ~name:(Printf.sprintf "c%d-r1" i) (worker i 1 arr)))
+          arrays;
+        M.Latch.wait latch ctx;
+        Array.iter (fun user -> alloc.A.free ctx user) array_blocks)
+  in
+  M.run m;
+  (match alloc.A.validate () with
+  | Ok () -> ()
+  | Error msg -> failwith (Printf.sprintf "Bench2: heap invariant broken: %s" msg));
+  let vm = M.proc_vm proc in
+  { params;
+    minor_faults = As.minor_faults vm;
+    resident_pages = As.resident_pages vm;
+    mapped_bytes = As.mapped_bytes vm;
+    sbrk_calls = As.sbrk_calls vm;
+    mmap_calls = As.mmap_calls vm;
+    arenas_created = alloc.A.stats.Mb_alloc.Astats.arenas_created;
+    foreign_frees = alloc.A.stats.Mb_alloc.Astats.foreign_frees;
+    elapsed_s = M.elapsed_ns main /. 1e9;
+  }
+
+let paper_predictor ~threads ~rounds =
+  14. +. (1.1 *. float_of_int threads *. float_of_int rounds) +. (127.6 *. float_of_int threads)
+
+(* Least squares for y = base + a*(t*r) + b*t with [base] fixed. *)
+let fit_predictor samples ~base =
+  let s11 = ref 0. and s12 = ref 0. and s22 = ref 0. and sy1 = ref 0. and sy2 = ref 0. in
+  List.iter
+    (fun (t, r, y) ->
+      let x1 = float_of_int (t * r) and x2 = float_of_int t in
+      let y = float_of_int y -. base in
+      s11 := !s11 +. (x1 *. x1);
+      s12 := !s12 +. (x1 *. x2);
+      s22 := !s22 +. (x2 *. x2);
+      sy1 := !sy1 +. (x1 *. y);
+      sy2 := !sy2 +. (x2 *. y))
+    samples;
+  let det = (!s11 *. !s22) -. (!s12 *. !s12) in
+  if det = 0. then invalid_arg "Bench2.fit_predictor: degenerate sample";
+  let a = ((!sy1 *. !s22) -. (!sy2 *. !s12)) /. det in
+  let b = ((!sy2 *. !s11) -. (!sy1 *. !s12)) /. det in
+  (a, b)

@@ -1,0 +1,41 @@
+(** Benchmark 3 — cache-conscious data placement (paper section 4.3).
+
+    Allocates [threads] objects of [object_size] bytes back to back, hands
+    one to each thread, and has every thread write a byte at the front and
+    a byte at the back of its object [writes] times. If the allocator lets
+    two objects overlap a cache line, the line ping-pongs between the
+    writers' CPUs and the run slows down 2–4x; a line-aligning allocator
+    avoids it. The per-run nondeterminism of malloc's returned addresses
+    is modelled with a few random warm-up allocations before the objects
+    (the paper: "addresses … are somewhat nondeterministic"). *)
+
+type params = {
+  machine : Mb_machine.Machine.config;
+  seed : int;
+  threads : int;
+  object_size : int;       (** 3–52 bytes in the paper's sweep *)
+  writes : int;            (** per thread; 100 million in the paper *)
+  aligned : bool;          (** wrap the allocator in {!Mb_alloc.Aligned} *)
+  factory : Factory.t;
+  paper_writes : int;      (** scale reference, 100 million *)
+  loop_cycles : int;       (** non-memory work per write iteration *)
+}
+
+val default : params
+(** 2 threads, 40 B objects, 1M writes on the quad Xeon, not aligned. *)
+
+type result = {
+  params : params;
+  elapsed_s : float;       (** time until all threads finished, unscaled *)
+  scaled_s : float;        (** scaled to [paper_writes] *)
+  transfers : int;         (** cache-to-cache transfers (ping-pongs) observed *)
+  shared_lines : int;      (** lines written by more than one thread *)
+  addresses : int list;    (** the object addresses handed out *)
+}
+
+val run : params -> result
+
+val sweep :
+  params -> sizes:int list -> runs:int -> (int * Mb_stats.Summary.t) list
+(** [sweep params ~sizes ~runs] runs [runs] seeds per size and summarizes
+    scaled elapsed time — one curve of the paper's figures 9–11. *)

@@ -1,0 +1,59 @@
+module A = Mb_alloc
+
+type t = {
+  label : string;
+  create : Mb_machine.Machine.proc -> A.Allocator.t;
+}
+
+let ptmalloc ?costs ?max_arenas () =
+  { label = "ptmalloc";
+    create =
+      (fun proc ->
+        let costs = match costs with Some c -> c | None -> A.Costs.glibc in
+        A.Ptmalloc.allocator (A.Ptmalloc.make proc ~costs ?max_arenas ()));
+  }
+
+let ptmalloc_introspect ?costs ?max_arenas () =
+  let instances : (string, A.Ptmalloc.t) Hashtbl.t = Hashtbl.create 4 in
+  let factory =
+    { label = "ptmalloc";
+      create =
+        (fun proc ->
+          let costs = match costs with Some c -> c | None -> A.Costs.glibc in
+          let pt = A.Ptmalloc.make proc ~costs ?max_arenas () in
+          Hashtbl.replace instances (Mb_machine.Machine.proc_name proc) pt;
+          A.Ptmalloc.allocator pt);
+    }
+  in
+  (factory, fun proc -> Hashtbl.find_opt instances (Mb_machine.Machine.proc_name proc))
+
+let serial_solaris () =
+  { label = "serial"; create = (fun proc -> A.Serial.allocator (A.Serial.make proc ())) }
+
+let serial_glibc () =
+  { label = "serial-glibc";
+    create = (fun proc -> A.Serial.allocator (A.Serial.make proc ~costs:A.Costs.glibc ()));
+  }
+
+let perthread () =
+  { label = "perthread"; create = (fun proc -> A.Perthread.allocator (A.Perthread.make proc ())) }
+
+let slab () = { label = "slab"; create = (fun proc -> A.Slab.allocator (A.Slab.make proc ())) }
+
+let hoard () = { label = "hoard"; create = (fun proc -> A.Hoard.allocator (A.Hoard.make proc ())) }
+
+let aligned ~line_size inner =
+  { label = inner.label ^ "+aligned";
+    create = (fun proc -> A.Aligned.make ~line_size (inner.create proc));
+  }
+
+let by_name = function
+  | "ptmalloc" -> Some (ptmalloc ())
+  | "serial" -> Some (serial_solaris ())
+  | "serial-glibc" -> Some (serial_glibc ())
+  | "perthread" -> Some (perthread ())
+  | "slab" -> Some (slab ())
+  | "hoard" -> Some (hoard ())
+  | _ -> None
+
+let names = [ "ptmalloc"; "serial"; "serial-glibc"; "perthread"; "slab"; "hoard" ]

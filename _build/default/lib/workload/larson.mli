@@ -1,0 +1,44 @@
+(** The Larson & Krishnan benchmark (ISMM 1998), the paper's reference
+    [5] — benchmark 2 is its "simplified form". This is the original
+    shape: worker threads each own a slot array; in a loop, a worker
+    picks a random slot, frees whatever is there, and allocates a
+    replacement of a {e random} size drawn uniformly from
+    [\[min_size, max_size\]]; periodically workers exit and hand their
+    arrays to fresh threads. The metric is throughput (operations per
+    simulated second) plus the memory the heap holds at the end —
+    Larson's "multiple simultaneous stresses" on an allocator.
+
+    Including it lets us check the paper's claim that fixing the request
+    size (benchmark 2) does not change the leak story, and gives the
+    shootout a mixed-size workload. *)
+
+type params = {
+  machine : Mb_machine.Machine.config;
+  seed : int;
+  threads : int;
+  rounds : int;               (** thread generations, as in benchmark 2 *)
+  slots_per_thread : int;
+  ops_per_round : int;
+  min_size : int;
+  max_size : int;             (** uniform random request sizes *)
+  factory : Factory.t;
+}
+
+val default : params
+(** 4 threads, 2 rounds, 1000 slots, 10–500 bytes (Larson's classic
+    range), ptmalloc on the 4-way Xeon. *)
+
+type result = {
+  params : params;
+  elapsed_s : float;             (** makespan *)
+  throughput_ops_s : float;      (** total alloc+free pairs per simulated second *)
+  minor_faults : int;
+  mapped_bytes : int;            (** address space held at the end *)
+  live_bytes : int;              (** user bytes still allocated at the end *)
+  arenas : int;
+  foreign_frees : int;
+}
+
+val run : params -> result
+(** Runs to completion, validates the heap, and frees all remaining
+    slots before measuring [live_bytes] (which should then be 0). *)

@@ -1,0 +1,38 @@
+module M = Mb_machine.Machine
+module A = Mb_alloc.Allocator
+
+type probe = { mutable samples : (float * float) list; mutable n : int }
+
+let wrap (inner : A.t) =
+  let probe = { samples = []; n = 0 } in
+  let malloc ctx size =
+    let t0 = M.now ctx in
+    let user = inner.A.malloc ctx size in
+    probe.samples <- (t0, M.now ctx -. t0) :: probe.samples;
+    probe.n <- probe.n + 1;
+    user
+  in
+  (probe, { inner with A.name = inner.A.name ^ "+latency"; malloc })
+
+let samples probe = List.rev probe.samples
+
+let count probe = probe.n
+
+let windows probe ~window_ns =
+  if window_ns <= 0. then invalid_arg "Latency.windows: window_ns <= 0";
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (t0, d) ->
+      let w = int_of_float (t0 /. window_ns) in
+      Hashtbl.replace table w (d :: (try Hashtbl.find table w with Not_found -> [])))
+    probe.samples;
+  Hashtbl.fold (fun w ds acc -> (float_of_int w *. window_ns, Mb_stats.Summary.of_list ds) :: acc) table []
+  |> List.sort compare
+
+let drift probe ~window_ns =
+  match windows probe ~window_ns with
+  | [] -> invalid_arg "Latency.drift: no samples"
+  | [ (_, only) ] -> ignore only; 1.0
+  | (_, first) :: rest ->
+      let _, last = List.nth rest (List.length rest - 1) in
+      last.Mb_stats.Summary.mean /. first.Mb_stats.Summary.mean

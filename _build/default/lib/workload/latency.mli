@@ -1,0 +1,27 @@
+(** Allocation-latency instrumentation (paper section 6 future work:
+    "heap allocator latency should show little or no change as network
+    servers remain up over time. We plan to create a benchmark to
+    measure latency changes over server uptime").
+
+    Wraps an allocator so every [malloc] records (simulated start time,
+    duration); the samples can then be sliced into uptime windows to
+    detect drift. *)
+
+type probe
+
+val wrap : Mb_alloc.Allocator.t -> probe * Mb_alloc.Allocator.t
+(** The returned allocator behaves identically (and shares stats) but
+    feeds the probe. *)
+
+val samples : probe -> (float * float) list
+(** All (start_ns, duration_ns) pairs, in collection order. *)
+
+val count : probe -> int
+
+val windows : probe -> window_ns:float -> (float * Mb_stats.Summary.t) list
+(** Latency summaries per uptime window: [(window_start_ns, summary)] for
+    each non-empty window, ascending. *)
+
+val drift : probe -> window_ns:float -> float
+(** Mean latency of the last non-empty window divided by the first —
+    1.0 means no drift. Requires at least one sample. *)

@@ -1,0 +1,144 @@
+module M = Mb_machine.Machine
+module A = Mb_alloc.Allocator
+module Rng = Mb_prng.Rng
+
+type params = {
+  machine : M.config;
+  seed : int;
+  threads : int;
+  requests_per_thread : int;
+  connections : int;
+  think_cycles : int;
+  factory : Factory.t;
+  probe_latency : bool;
+}
+
+let default =
+  { machine = Mb_machine.Configs.quad_xeon;
+    seed = 1;
+    threads = 4;
+    requests_per_thread = 2_000;
+    connections = 256;
+    think_cycles = 1_500;
+    factory = Factory.ptmalloc ();
+    probe_latency = false;
+  }
+
+type result = {
+  params : params;
+  elapsed_s : float;
+  requests_per_second : float;
+  per_thread_s : float list;
+  foreign_frees : int;
+  arenas : int;
+  contended_ops : int;
+  latency : probe_result option;
+}
+
+and probe_result = {
+  malloc_mean_ns : float;
+  malloc_p99_ns : float;
+  drift : float;
+  window_means : (float * float) list;
+}
+
+let state_bytes = 40  (* per-connection state: the paper's typical size *)
+
+let run params =
+  if params.threads <= 0 || params.connections <= 0 then invalid_arg "Server.run: bad params";
+  let m = M.create ~seed:params.seed params.machine in
+  let proc = M.create_proc m ~name:"server" () in
+  let raw_alloc = params.factory.Factory.create proc in
+  let probe, alloc =
+    if params.probe_latency then
+      let p, a = Latency.wrap raw_alloc in
+      (Some p, a)
+    else (None, raw_alloc)
+  in
+  (* The connection table: slot i holds the address of connection i's
+     current state object, installed by whichever worker served it last. *)
+  let conn_lock = M.Mutex.create m ~name:"conntab" () in
+  let conns = Array.make params.connections 0 in
+  let workers = ref [] in
+  let handle_request ctx rng =
+    let c = Rng.int rng params.connections in
+    (* Swap the connection's state object: free the old one (allocated by
+       some other thread) and install a fresh, zeroed one. *)
+    let fresh = A.calloc alloc ctx ~count:1 ~size:state_bytes in
+    M.Mutex.lock conn_lock ctx;
+    let old = conns.(c) in
+    conns.(c) <- fresh;
+    M.Mutex.unlock conn_lock ctx;
+    if old <> 0 then alloc.A.free ctx old;
+    (* Short-lived request buffers. *)
+    let nbufs = 2 + Rng.int rng 3 in
+    let bufs =
+      List.init nbufs (fun _ ->
+          let size = Trace.server_size_dist rng in
+          let user = alloc.A.malloc ctx size in
+          M.touch_range ctx user ~len:(min size 256);
+          user)
+    in
+    (* A response buffer that sometimes outgrows its first estimate, the
+       classic realloc pattern. *)
+    let response = alloc.A.malloc ctx 128 in
+    let response =
+      if Rng.int rng 4 = 0 then A.realloc alloc ctx response (256 + Rng.int rng 2048) else response
+    in
+    M.work ctx params.think_cycles;
+    alloc.A.free ctx response;
+    List.iter (fun user -> alloc.A.free ctx user) bufs
+  in
+  let main =
+    M.spawn proc ~name:"acceptor" (fun ctx ->
+        let ws =
+          List.init params.threads (fun i ->
+              M.spawn proc ~name:(Printf.sprintf "worker-%d" i) (fun wctx ->
+                  let rng = M.ctx_rng wctx in
+                  for _ = 1 to params.requests_per_thread do
+                    handle_request wctx rng
+                  done))
+        in
+        workers := ws;
+        List.iter (fun w -> M.join ctx w) ws;
+        (* Drain the connection table so the heap can be validated empty. *)
+        Array.iteri
+          (fun i addr ->
+            if addr <> 0 then begin
+              alloc.A.free ctx addr;
+              conns.(i) <- 0
+            end)
+          conns)
+  in
+  ignore main;
+  M.run m;
+  (match alloc.A.validate () with
+  | Ok () -> ()
+  | Error msg -> failwith (Printf.sprintf "Server: heap invariant broken: %s" msg));
+  let per_thread_s = List.map (fun w -> M.elapsed_ns w /. 1e9) !workers in
+  let elapsed_s = List.fold_left max 0. per_thread_s in
+  let total_requests = params.threads * params.requests_per_thread in
+  let latency =
+    match probe with
+    | None -> None
+    | Some p ->
+        let all = Array.of_list (List.map snd (Latency.samples p)) in
+        let window_ns = M.elapsed_ns (List.hd !workers) /. 8. in
+        let windows = Latency.windows p ~window_ns in
+        Some
+          { malloc_mean_ns = (Mb_stats.Summary.of_array all).Mb_stats.Summary.mean;
+            malloc_p99_ns = Mb_stats.Summary.percentile all 99.;
+            drift = Latency.drift p ~window_ns;
+            window_means =
+              List.map (fun (t, s) -> (t, s.Mb_stats.Summary.mean)) windows;
+          }
+  in
+  { params;
+    elapsed_s;
+    requests_per_second = (if elapsed_s > 0. then float_of_int total_requests /. elapsed_s else 0.);
+    per_thread_s;
+    foreign_frees = alloc.A.stats.Mb_alloc.Astats.foreign_frees;
+    arenas = alloc.A.stats.Mb_alloc.Astats.arenas_created;
+    contended_ops = alloc.A.stats.Mb_alloc.Astats.contended_ops;
+    latency;
+  }

@@ -1,0 +1,45 @@
+(** A network-server-shaped workload, modelled on the paper's iPlanet
+    directory server description (section 2): a single multithreaded
+    process handling many small requests, keeping per-connection state
+    that any worker may later release — so storage is routinely freed by
+    a different thread than allocated it, under lock contention.
+
+    Each request: pick a connection; replace its state object (freeing
+    whatever some other worker installed); allocate a few short-lived
+    work buffers with server-like sizes; compute; release the buffers.
+
+    Used by the examples, the allocator shootout, and the
+    latency-over-uptime extension. *)
+
+type params = {
+  machine : Mb_machine.Machine.config;
+  seed : int;
+  threads : int;
+  requests_per_thread : int;
+  connections : int;
+  think_cycles : int;        (** non-allocator work per request *)
+  factory : Factory.t;
+  probe_latency : bool;      (** wrap the allocator with {!Latency} *)
+}
+
+val default : params
+
+type result = {
+  params : params;
+  elapsed_s : float;              (** makespan of the worker threads *)
+  requests_per_second : float;    (** aggregate simulated throughput *)
+  per_thread_s : float list;
+  foreign_frees : int;
+  arenas : int;
+  contended_ops : int;
+  latency : probe_result option;  (** when [probe_latency] *)
+}
+
+and probe_result = {
+  malloc_mean_ns : float;
+  malloc_p99_ns : float;
+  drift : float;                  (** last-window mean / first-window mean *)
+  window_means : (float * float) list;  (** (uptime_ns, mean latency ns) *)
+}
+
+val run : params -> result

@@ -1,0 +1,83 @@
+module M = Mb_machine.Machine
+module A = Mb_alloc.Allocator
+module Rng = Mb_prng.Rng
+
+type op =
+  | Alloc of { slot : int; size : int }
+  | Free of { slot : int }
+
+type t = op array
+
+let server_size_dist rng =
+  let p = Rng.int rng 100 in
+  if p < 70 then 40
+  else if p < 90 then 16 + Rng.int rng 113
+  else if p < 99 then 128 + Rng.int rng (2048 - 128)
+  else 8192
+
+let generate ~rng ~ops ~slots ?(size_of = server_size_dist) () =
+  if ops <= 0 || slots <= 0 then invalid_arg "Trace.generate: bad params";
+  let full = Array.make slots false in
+  let nfull = ref 0 in
+  (* Track an empty and a full slot cheaply by rejection sampling; slot
+     counts are small so this stays fast. *)
+  let rec find_with state =
+    let s = Rng.int rng slots in
+    if full.(s) = state then s else find_with state
+  in
+  Array.init ops (fun _ ->
+      let do_alloc =
+        if !nfull = 0 then true else if !nfull = slots then false else Rng.bool rng
+      in
+      if do_alloc then begin
+        let slot = find_with false in
+        full.(slot) <- true;
+        incr nfull;
+        Alloc { slot; size = size_of rng }
+      end
+      else begin
+        let slot = find_with true in
+        full.(slot) <- false;
+        decr nfull;
+        Free { slot }
+      end)
+
+let validate t ~slots =
+  let full = Array.make slots false in
+  let bad = ref None in
+  Array.iteri
+    (fun i op ->
+      if !bad = None then
+        match op with
+        | Alloc { slot; size } ->
+            if slot < 0 || slot >= slots then bad := Some (Printf.sprintf "op %d: slot out of range" i)
+            else if size <= 0 then bad := Some (Printf.sprintf "op %d: non-positive size" i)
+            else if full.(slot) then bad := Some (Printf.sprintf "op %d: double alloc of slot %d" i slot)
+            else full.(slot) <- true
+        | Free { slot } ->
+            if slot < 0 || slot >= slots then bad := Some (Printf.sprintf "op %d: slot out of range" i)
+            else if not full.(slot) then bad := Some (Printf.sprintf "op %d: free of empty slot %d" i slot)
+            else full.(slot) <- false)
+    t;
+  match !bad with Some msg -> Error msg | None -> Ok ()
+
+let live_at_end t ~slots =
+  let full = Array.make slots false in
+  Array.iter
+    (function Alloc { slot; _ } -> full.(slot) <- true | Free { slot } -> full.(slot) <- false)
+    t;
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 full
+
+let replay alloc ctx t ~slots =
+  let addrs = Array.make slots 0 in
+  Array.iter
+    (function
+      | Alloc { slot; size } ->
+          let user = alloc.A.malloc ctx size in
+          M.touch_range ctx user ~len:size;
+          addrs.(slot) <- user
+      | Free { slot } ->
+          alloc.A.free ctx addrs.(slot);
+          addrs.(slot) <- 0)
+    t;
+  Array.iteri (fun slot addr -> if addr <> 0 then alloc.A.free ctx addrs.(slot)) addrs

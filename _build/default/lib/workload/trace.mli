@@ -1,0 +1,41 @@
+(** Allocation traces: generation and replay (paper section 6 future
+    work: "test our assumptions about the allocation patterns of
+    large-scale network servers by instrumenting heavily used servers to
+    generate trace data").
+
+    A trace is a well-formed sequence of slot-based operations: an
+    [Alloc] fills an empty slot, a [Free] empties a full one. Replaying
+    the same trace against different allocators gives an
+    apples-to-apples comparison driven by one allocation pattern. *)
+
+type op =
+  | Alloc of { slot : int; size : int }
+  | Free of { slot : int }
+
+type t = op array
+
+val server_size_dist : Mb_prng.Rng.t -> int
+(** The paper's observation (after [4, 5]) that servers use few sizes
+    near 40 bytes: 70% exactly 40 B, 20% small strings (16–128 B), 9%
+    medium (128–2 KB), 1% 8 KB buffers. *)
+
+val generate :
+  rng:Mb_prng.Rng.t ->
+  ops:int ->
+  slots:int ->
+  ?size_of:(Mb_prng.Rng.t -> int) ->
+  unit ->
+  t
+(** Random well-formed trace over [slots] concurrent objects, roughly
+    balanced between allocation and release, using [size_of] (default
+    {!server_size_dist}) for request sizes. *)
+
+val validate : t -> slots:int -> (unit, string) result
+(** Checks well-formedness (no double alloc/free, slots in range). *)
+
+val live_at_end : t -> slots:int -> int
+(** Number of slots left allocated when the trace ends. *)
+
+val replay : Mb_alloc.Allocator.t -> Mb_machine.Machine.ctx -> t -> slots:int -> unit
+(** Runs the trace on an allocator, touching each allocation, and frees
+    any slots still live at the end. *)

@@ -1,0 +1,1 @@
+test/test_allocators.ml: Alcotest Array Core Gen Int List Printf QCheck QCheck_alcotest Set

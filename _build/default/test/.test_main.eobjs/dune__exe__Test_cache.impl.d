@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Core Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dlheap.ml: Alcotest Core List Option Printf QCheck QCheck_alcotest String

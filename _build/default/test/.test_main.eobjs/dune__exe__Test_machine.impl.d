@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Core Gen List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Core Gen List Mb_sim Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Core Gen List Option QCheck QCheck_alcotest

@@ -1,0 +1,395 @@
+(* Black-box tests run against every allocator implementation, plus
+   white-box tests of ptmalloc's arena protocol, the per-thread caches,
+   the slab allocator, and the aligning wrapper. *)
+
+module M = Core.Machine
+module A = Core.Allocator
+
+let config = { M.default_config with M.cpus = 2; op_jitter = 0. }
+
+let factories =
+  [ Core.Factory.ptmalloc ();
+    Core.Factory.serial_glibc ();
+    Core.Factory.serial_solaris ();
+    Core.Factory.perthread ();
+    Core.Factory.slab ();
+    Core.Factory.hoard ();
+    Core.Factory.aligned ~line_size:32 (Core.Factory.ptmalloc ());
+  ]
+
+let in_thread body =
+  let m = M.create ~seed:1 config in
+  let p = M.create_proc m () in
+  ignore (M.spawn p (fun ctx -> body p ctx));
+  M.run m
+
+let check_valid (alloc : A.t) =
+  match alloc.A.validate () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (alloc.A.name ^ ": " ^ msg)
+
+(* --- generic black-box battery --------------------------------------- *)
+
+let generic_roundtrip factory () =
+  in_thread (fun p ctx ->
+      let alloc = factory.Core.Factory.create p in
+      let blocks = List.init 100 (fun i -> alloc.A.malloc ctx (8 + (i mod 60 * 8))) in
+      (* all distinct *)
+      Alcotest.(check int) "distinct addresses" 100 (List.length (List.sort_uniq compare blocks));
+      List.iter (fun u -> M.write_mem ctx u) blocks;
+      List.iter (fun u -> alloc.A.free ctx u) blocks;
+      check_valid alloc;
+      Alcotest.(check int) "live zero" 0 alloc.A.stats.Core.Astats.live_bytes;
+      Alcotest.(check int) "balanced ops" alloc.A.stats.Core.Astats.mallocs
+        alloc.A.stats.Core.Astats.frees)
+
+let generic_usable_size factory () =
+  in_thread (fun p ctx ->
+      let alloc = factory.Core.Factory.create p in
+      List.iter
+        (fun size ->
+          let u = alloc.A.malloc ctx size in
+          Alcotest.(check bool)
+            (Printf.sprintf "usable(%d) covers request" size)
+            true
+            (alloc.A.usable_size u >= size);
+          alloc.A.free ctx u)
+        [ 1; 7; 8; 40; 100; 512; 4000 ])
+
+let generic_no_overlap factory =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: live blocks never overlap" factory.Core.Factory.label)
+    ~count:30
+    QCheck.(list_of_size Gen.(int_range 1 80) (pair bool (int_range 1 2000)))
+    (fun ops ->
+      let ok = ref true in
+      in_thread (fun p ctx ->
+          let alloc = factory.Core.Factory.create p in
+          let live = ref [] in
+          List.iter
+            (fun (do_alloc, size) ->
+              if do_alloc || !live = [] then begin
+                let u = alloc.A.malloc ctx size in
+                let ulen = size in
+                if List.exists (fun (v, vlen) -> not (u + ulen <= v || v + vlen <= u)) !live then
+                  ok := false;
+                live := (u, size) :: !live
+              end
+              else
+                match !live with
+                | (u, _) :: rest ->
+                    alloc.A.free ctx u;
+                    live := rest
+                | [] -> ())
+            ops;
+          List.iter (fun (u, _) -> alloc.A.free ctx u) !live;
+          match alloc.A.validate () with Ok () -> () | Error _ -> ok := false);
+      !ok)
+
+(* calloc/realloc/memalign round-trips must work on every implementation. *)
+let generic_derived_api factory () =
+  in_thread (fun p ctx ->
+      let alloc = factory.Core.Factory.create p in
+      let z = Core.Allocator.calloc alloc ctx ~count:10 ~size:13 in
+      Alcotest.(check bool) "calloc covers" true (alloc.Core.Allocator.usable_size z >= 130);
+      let grown = Core.Allocator.realloc alloc ctx z 1_000 in
+      Alcotest.(check bool) "realloc covers" true (alloc.Core.Allocator.usable_size grown >= 1_000);
+      let a = Core.Allocator.memalign alloc ctx ~alignment:64 77 in
+      Alcotest.(check int) "memalign aligns" 0 (a mod 64);
+      Core.Allocator.free_aligned alloc ctx a;
+      alloc.Core.Allocator.free ctx grown;
+      check_valid alloc;
+      Alcotest.(check int) (factory.Core.Factory.label ^ " drains") 0
+        alloc.Core.Allocator.stats.Core.Astats.live_bytes)
+
+(* Multithreaded churn with a cross-thread hand-off at the end: every
+   allocator must survive contention, route foreign frees correctly, and
+   leave a structurally valid empty heap. *)
+let generic_concurrent_stress factory () =
+  let m = M.create ~seed:17 { config with M.cpus = 4 } in
+  let p = M.create_proc m () in
+  let alloc = factory.Core.Factory.create p in
+  let leftovers = Array.make 3 [] in
+  let workers =
+    List.init 3 (fun w ->
+        M.spawn p ~name:(string_of_int w) (fun ctx ->
+            let rng = M.ctx_rng ctx in
+            let live = ref [] in
+            for _ = 1 to 400 do
+              if Core.Rng.bool rng || !live = [] then begin
+                let size = 1 + Core.Rng.int rng 700 in
+                let u = alloc.A.malloc ctx size in
+                M.write_mem ctx u;
+                live := u :: !live
+              end
+              else
+                match !live with
+                | u :: rest ->
+                    alloc.A.free ctx u;
+                    live := rest
+                | [] -> ()
+            done;
+            leftovers.(w) <- !live))
+  in
+  (* A final thread frees everything the workers left behind. *)
+  ignore
+    (M.spawn p ~name:"reaper" (fun ctx ->
+         List.iter (fun w -> M.join ctx w) workers;
+         Array.iter (List.iter (fun u -> alloc.A.free ctx u)) leftovers));
+  M.run m;
+  check_valid alloc;
+  Alcotest.(check int) "live zero after reaping" 0 alloc.A.stats.Core.Astats.live_bytes;
+  Alcotest.(check int) "balanced ops" alloc.A.stats.Core.Astats.mallocs
+    alloc.A.stats.Core.Astats.frees
+
+let generic_cases =
+  List.concat_map
+    (fun f ->
+      [ Alcotest.test_case (f.Core.Factory.label ^ ": roundtrip") `Quick (generic_roundtrip f);
+        Alcotest.test_case (f.Core.Factory.label ^ ": usable size") `Quick (generic_usable_size f);
+        Alcotest.test_case (f.Core.Factory.label ^ ": derived C API") `Quick (generic_derived_api f);
+        Alcotest.test_case
+          (f.Core.Factory.label ^ ": concurrent stress")
+          `Quick (generic_concurrent_stress f);
+        QCheck_alcotest.to_alcotest (generic_no_overlap f);
+      ])
+    factories
+
+(* --- ptmalloc arena protocol ------------------------------------------ *)
+
+let test_ptmalloc_single_thread_one_arena () =
+  in_thread (fun p ctx ->
+      let pt = Core.Ptmalloc.make p () in
+      let alloc = Core.Ptmalloc.allocator pt in
+      for _ = 1 to 200 do
+        let u = alloc.A.malloc ctx 128 in
+        alloc.A.free ctx u
+      done;
+      Alcotest.(check int) "no contention, one arena" 1 (Core.Ptmalloc.arena_count pt))
+
+let test_ptmalloc_arena_growth_under_contention () =
+  let m = M.create ~seed:1 config in
+  let p = M.create_proc m () in
+  let pt = Core.Ptmalloc.make p () in
+  let alloc = Core.Ptmalloc.allocator pt in
+  let workers =
+    List.init 2 (fun i ->
+        M.spawn p ~name:(string_of_int i) (fun ctx ->
+            for _ = 1 to 2_000 do
+              let u = alloc.A.malloc ctx 128 in
+              alloc.A.free ctx u
+            done))
+  in
+  ignore workers;
+  M.run m;
+  Alcotest.(check bool) "arena created for second thread" true (Core.Ptmalloc.arena_count pt >= 2);
+  check_valid alloc
+
+let test_ptmalloc_max_arenas_cap () =
+  let m = M.create ~seed:1 { config with M.cpus = 4 } in
+  let p = M.create_proc m () in
+  let pt = Core.Ptmalloc.make p ~max_arenas:2 () in
+  let alloc = Core.Ptmalloc.allocator pt in
+  ignore
+    (List.init 4 (fun i ->
+         M.spawn p ~name:(string_of_int i) (fun ctx ->
+             for _ = 1 to 1_000 do
+               let u = alloc.A.malloc ctx 128 in
+               alloc.A.free ctx u
+             done)));
+  M.run m;
+  Alcotest.(check bool) "capped" true (Core.Ptmalloc.arena_count pt <= 2);
+  check_valid alloc
+
+let test_ptmalloc_foreign_free_routing () =
+  let m = M.create ~seed:1 config in
+  let p = M.create_proc m () in
+  let pt = Core.Ptmalloc.make p () in
+  let alloc = Core.Ptmalloc.allocator pt in
+  let handover = ref [] in
+  let producer =
+    M.spawn p ~name:"producer" (fun ctx ->
+        (* force a private arena by colliding once *)
+        handover := List.init 50 (fun _ -> alloc.A.malloc ctx 64))
+  in
+  ignore
+    (M.spawn p ~name:"consumer" (fun ctx ->
+         M.join ctx producer;
+         (* allocate to establish this thread's own arena usage *)
+         let mine = alloc.A.malloc ctx 64 in
+         List.iter (fun u -> alloc.A.free ctx u) !handover;
+         alloc.A.free ctx mine));
+  M.run m;
+  check_valid alloc;
+  Alcotest.(check int) "all storage drained" 0 alloc.A.stats.Core.Astats.live_bytes
+
+let test_ptmalloc_arena_of_thread () =
+  let m = M.create ~seed:1 config in
+  let p = M.create_proc m () in
+  let pt = Core.Ptmalloc.make p () in
+  let alloc = Core.Ptmalloc.allocator pt in
+  let tid_box = ref (-1) in
+  ignore
+    (M.spawn p (fun ctx ->
+         tid_box := M.tid ctx;
+         let u = alloc.A.malloc ctx 64 in
+         alloc.A.free ctx u));
+  M.run m;
+  Alcotest.(check (option int)) "cached arena recorded" (Some 0) (Core.Ptmalloc.arena_of_thread pt !tid_box)
+
+let test_ptmalloc_usable_and_wild_free () =
+  in_thread (fun p ctx ->
+      let alloc = Core.Ptmalloc.allocator (Core.Ptmalloc.make p ()) in
+      let u = alloc.A.malloc ctx 100 in
+      Alcotest.(check bool) "usable" true (alloc.A.usable_size u >= 100);
+      Alcotest.check_raises "wild free"
+        (Invalid_argument "ptmalloc.free: address not owned by any arena") (fun () ->
+          alloc.A.free ctx 0x99);
+      alloc.A.free ctx u)
+
+(* --- perthread --------------------------------------------------------- *)
+
+let test_perthread_lock_amortization () =
+  in_thread (fun p ctx ->
+      let pt = Core.Perthread.make p ~batch:16 () in
+      let alloc = Core.Perthread.allocator pt in
+      for _ = 1 to 320 do
+        let u = alloc.A.malloc ctx 40 in
+        alloc.A.free ctx u
+      done;
+      (* one refill of 16 serves the whole loop: far fewer lock trips than ops *)
+      Alcotest.(check bool) "global lock rarely touched" true
+        (Core.Perthread.global_lock_acquisitions pt < 20);
+      Alcotest.(check bool) "objects parked in cache" true (Core.Perthread.cached_objects pt > 0))
+
+let test_perthread_cache_limit_flush () =
+  in_thread (fun p ctx ->
+      let pt = Core.Perthread.make p ~batch:8 ~cache_limit:16 () in
+      let alloc = Core.Perthread.allocator pt in
+      let blocks = List.init 100 (fun _ -> alloc.A.malloc ctx 40) in
+      List.iter (fun u -> alloc.A.free ctx u) blocks;
+      (* the magazine was capped, flushing overflow back to the heap *)
+      Alcotest.(check bool) "cache bounded" true (Core.Perthread.cached_objects pt <= 17);
+      check_valid (Core.Perthread.allocator pt))
+
+let test_perthread_large_objects_bypass () =
+  in_thread (fun p ctx ->
+      let pt = Core.Perthread.make p () in
+      let alloc = Core.Perthread.allocator pt in
+      let u = alloc.A.malloc ctx 4096 in
+      alloc.A.free ctx u;
+      Alcotest.(check int) "nothing cached" 0 (Core.Perthread.cached_objects pt);
+      Alcotest.(check int) "fully drained" 0 alloc.A.stats.Core.Astats.live_bytes)
+
+(* --- slab --------------------------------------------------------------- *)
+
+let test_slab_size_classes () =
+  in_thread (fun p ctx ->
+      let slab = Core.Slab.make p () in
+      let alloc = Core.Slab.allocator slab in
+      let a = alloc.A.malloc ctx 10 in
+      let b = alloc.A.malloc ctx 100 in
+      let c = alloc.A.malloc ctx 1000 in
+      Alcotest.(check int) "three power-of-two caches" 3 (Core.Slab.cache_count slab);
+      Alcotest.(check int) "10 -> 16" 16 (alloc.A.usable_size a);
+      Alcotest.(check int) "100 -> 128" 128 (alloc.A.usable_size b);
+      Alcotest.(check int) "1000 -> 1024" 1024 (alloc.A.usable_size c);
+      List.iter (fun u -> alloc.A.free ctx u) [ a; b; c ];
+      check_valid alloc)
+
+let test_slab_reclaims_empty_slabs () =
+  in_thread (fun p ctx ->
+      let slab = Core.Slab.make p ~slab_pages:1 () in
+      let alloc = Core.Slab.allocator slab in
+      (* two slabs' worth of 512B objects: 8 per slab *)
+      let blocks = List.init 24 (fun _ -> alloc.A.malloc ctx 512) in
+      let high = Core.Slab.slab_count slab in
+      Alcotest.(check int) "three slabs" 3 high;
+      List.iter (fun u -> alloc.A.free ctx u) blocks;
+      Alcotest.(check bool) "empties reclaimed" true (Core.Slab.slab_count slab < high);
+      check_valid alloc)
+
+(* --- aligned wrapper ----------------------------------------------------- *)
+
+let test_aligned_addresses () =
+  in_thread (fun p ctx ->
+      let inner = Core.Ptmalloc.allocator (Core.Ptmalloc.make p ()) in
+      let alloc = Core.Aligned.make ~line_size:32 inner in
+      List.iter
+        (fun size ->
+          let u = alloc.A.malloc ctx size in
+          Alcotest.(check int) (Printf.sprintf "%dB aligned" size) 0 (u mod 32);
+          Alcotest.(check bool) "usable covers" true (alloc.A.usable_size u >= size);
+          alloc.A.free ctx u)
+        [ 3; 17; 32; 40; 52; 100 ])
+
+let test_aligned_objects_own_their_lines () =
+  in_thread (fun p ctx ->
+      let inner = Core.Ptmalloc.allocator (Core.Ptmalloc.make p ()) in
+      let alloc = Core.Aligned.make ~line_size:32 inner in
+      let blocks = List.init 16 (fun _ -> alloc.A.malloc ctx 24) in
+      let lines u = [ u / 32; (u + 23) / 32 ] in
+      let all_lines = List.concat_map lines blocks in
+      (* each block's lines appear for no other block *)
+      let module IS = Set.Make (Int) in
+      Alcotest.(check int) "no shared lines" (IS.cardinal (IS.of_list all_lines))
+        (List.length (List.sort_uniq compare all_lines));
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              if u <> v then
+                List.iter (fun l -> if List.mem l (lines v) then Alcotest.fail "line shared") (lines u))
+            blocks)
+        blocks;
+      List.iter (fun u -> alloc.A.free ctx u) blocks)
+
+let test_aligned_wild_free () =
+  in_thread (fun p ctx ->
+      let inner = Core.Ptmalloc.allocator (Core.Ptmalloc.make p ()) in
+      let alloc = Core.Aligned.make ~line_size:32 inner in
+      Alcotest.check_raises "unknown address"
+        (Invalid_argument "Aligned.free: address was not allocated through this wrapper") (fun () ->
+          alloc.A.free ctx 320))
+
+let test_padding_overhead () =
+  Alcotest.(check bool) "40B pays at most 56 extra" true
+    (Core.Aligned.padding_overhead ~line_size:32 40 <= 56);
+  Alcotest.check_raises "power of two required"
+    (Invalid_argument "Aligned.make: line_size not a power of two") (fun () ->
+      in_thread (fun p _ ->
+          ignore (Core.Aligned.make ~line_size:33 (Core.Ptmalloc.allocator (Core.Ptmalloc.make p ())))))
+
+(* --- serial -------------------------------------------------------------- *)
+
+let test_serial_lock_counts () =
+  in_thread (fun p ctx ->
+      let s = Core.Serial.make p () in
+      let alloc = Core.Serial.allocator s in
+      for _ = 1 to 50 do
+        let u = alloc.A.malloc ctx 64 in
+        alloc.A.free ctx u
+      done;
+      Alcotest.(check int) "every op takes the one lock" 100 (Core.Serial.lock_acquisitions s);
+      Alcotest.(check int) "no contention single-threaded" 0 (Core.Serial.lock_contentions s))
+
+let suite =
+  generic_cases
+  @ [ Alcotest.test_case "ptmalloc: 1 thread, 1 arena" `Quick test_ptmalloc_single_thread_one_arena;
+      Alcotest.test_case "ptmalloc: arenas grow on contention" `Quick
+        test_ptmalloc_arena_growth_under_contention;
+      Alcotest.test_case "ptmalloc: max_arenas cap" `Quick test_ptmalloc_max_arenas_cap;
+      Alcotest.test_case "ptmalloc: foreign free routing" `Quick test_ptmalloc_foreign_free_routing;
+      Alcotest.test_case "ptmalloc: arena_of_thread" `Quick test_ptmalloc_arena_of_thread;
+      Alcotest.test_case "ptmalloc: usable size / wild free" `Quick test_ptmalloc_usable_and_wild_free;
+      Alcotest.test_case "perthread: lock amortization" `Quick test_perthread_lock_amortization;
+      Alcotest.test_case "perthread: cache limit flush" `Quick test_perthread_cache_limit_flush;
+      Alcotest.test_case "perthread: large bypass" `Quick test_perthread_large_objects_bypass;
+      Alcotest.test_case "slab: size classes" `Quick test_slab_size_classes;
+      Alcotest.test_case "slab: reclaims empties" `Quick test_slab_reclaims_empty_slabs;
+      Alcotest.test_case "aligned: addresses" `Quick test_aligned_addresses;
+      Alcotest.test_case "aligned: exclusive lines" `Quick test_aligned_objects_own_their_lines;
+      Alcotest.test_case "aligned: wild free" `Quick test_aligned_wild_free;
+      Alcotest.test_case "aligned: padding overhead" `Quick test_padding_overhead;
+      Alcotest.test_case "serial: lock counts" `Quick test_serial_lock_counts;
+    ]

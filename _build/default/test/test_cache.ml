@@ -1,0 +1,128 @@
+(* Tests for the MESI-style coherence cost model. *)
+
+module C = Core.Coherence
+
+let config =
+  { C.line_size = 32;
+    hit_cycles = 1;
+    miss_cycles = 30;
+    transfer_cycles = 40;
+    upgrade_cycles = 12;
+    ping_pong_burst = 4;
+  }
+
+let make () = C.create config ~cpus:4
+
+let test_line_of () =
+  let t = make () in
+  Alcotest.(check int) "same line" (C.line_of t 0) (C.line_of t 31);
+  Alcotest.(check bool) "next line" true (C.line_of t 32 <> C.line_of t 31)
+
+let test_cold_read_then_hit () =
+  let t = make () in
+  Alcotest.(check int) "cold miss" 30 (C.read t ~cpu:0 100);
+  Alcotest.(check int) "warm hit" 1 (C.read t ~cpu:0 101)
+
+let test_shared_read () =
+  let t = make () in
+  ignore (C.read t ~cpu:0 100);
+  Alcotest.(check int) "other cpu fills" 30 (C.read t ~cpu:1 100);
+  Alcotest.(check int) "both now hit" 1 (C.read t ~cpu:0 100)
+
+let test_write_paths () =
+  let t = make () in
+  Alcotest.(check int) "cold write misses" 30 (C.write t ~cpu:0 200);
+  Alcotest.(check int) "owned write hits" 1 (C.write t ~cpu:0 201);
+  Alcotest.(check int) "dirty elsewhere transfers" 40 (C.write t ~cpu:1 200);
+  Alcotest.(check int) "ownership moved" 1 (C.write t ~cpu:1 202)
+
+let test_read_of_dirty_line () =
+  let t = make () in
+  ignore (C.write t ~cpu:0 300);
+  Alcotest.(check int) "reader pays transfer" 40 (C.read t ~cpu:1 300);
+  Alcotest.(check int) "then both share" 1 (C.read t ~cpu:0 300)
+
+let test_upgrade () =
+  let t = make () in
+  ignore (C.read t ~cpu:0 400);
+  ignore (C.read t ~cpu:1 400);
+  Alcotest.(check int) "shared holder upgrades" 12 (C.write t ~cpu:0 400);
+  Alcotest.(check int) "invalidated peer transfers" 40 (C.write t ~cpu:1 400)
+
+let test_exclusive_upgrade_is_hit () =
+  let t = make () in
+  ignore (C.read t ~cpu:0 500);
+  Alcotest.(check int) "sole sharer writes for a hit" 1 (C.write t ~cpu:0 500)
+
+let test_write_repeated_uncontended () =
+  let t = make () in
+  let cost = C.write_repeated t ~cpu:0 600 ~count:10 in
+  Alcotest.(check int) "miss + 9 hits" (30 + 9) cost;
+  Alcotest.(check int) "subsequent batch all hits" 10 (C.write_repeated t ~cpu:0 600 ~count:10)
+
+let test_write_repeated_pingpong () =
+  let t = make () in
+  ignore (C.write t ~cpu:0 700);
+  let before = C.transfers t in
+  (* 8 stores with burst 4: 2 ownership transfers + 6 buffered hits *)
+  let cost = C.write_repeated t ~cpu:1 700 ~count:8 in
+  Alcotest.(check int) "2 transfers + 6 hits" ((2 * 40) + 6) cost;
+  Alcotest.(check int) "transfer count" 2 (C.transfers t - before)
+
+let test_flush_line () =
+  let t = make () in
+  ignore (C.write t ~cpu:0 800);
+  C.flush_line t 800;
+  Alcotest.(check int) "cold again" 30 (C.read t ~cpu:0 800)
+
+let test_stats_counters () =
+  let t = make () in
+  ignore (C.read t ~cpu:0 900);   (* miss *)
+  ignore (C.read t ~cpu:0 900);   (* hit *)
+  ignore (C.write t ~cpu:1 900);  (* upgrade of shared *)
+  ignore (C.write t ~cpu:0 900);  (* transfer *)
+  Alcotest.(check int) "misses" 1 (C.misses t);
+  Alcotest.(check int) "hits" 1 (C.hits t);
+  Alcotest.(check int) "upgrades" 1 (C.upgrades t);
+  Alcotest.(check int) "transfers" 1 (C.transfers t)
+
+let test_cpu_validation () =
+  let t = make () in
+  Alcotest.check_raises "cpu range" (Invalid_argument "Coherence: cpu out of range") (fun () ->
+      ignore (C.read t ~cpu:7 0))
+
+let prop_single_cpu_never_transfers =
+  QCheck.Test.make ~name:"one CPU alone never ping-pongs" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 100) (pair bool (int_bound 4096)))
+    (fun ops ->
+      let t = make () in
+      List.iter (fun (w, addr) -> ignore (if w then C.write t ~cpu:0 addr else C.read t ~cpu:0 addr)) ops;
+      C.transfers t = 0 && C.upgrades t = 0)
+
+let prop_costs_are_known_values =
+  QCheck.Test.make ~name:"every access costs one of the configured values" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 80) (triple bool (int_bound 3) (int_bound 512)))
+    (fun ops ->
+      let t = make () in
+      List.for_all
+        (fun (w, cpu, addr) ->
+          let c = if w then C.write t ~cpu addr else C.read t ~cpu addr in
+          List.mem c [ 1; 12; 30; 40 ])
+        ops)
+
+let suite =
+  [ Alcotest.test_case "line_of" `Quick test_line_of;
+    Alcotest.test_case "cold read then hit" `Quick test_cold_read_then_hit;
+    Alcotest.test_case "shared read" `Quick test_shared_read;
+    Alcotest.test_case "write paths" `Quick test_write_paths;
+    Alcotest.test_case "read of dirty line" `Quick test_read_of_dirty_line;
+    Alcotest.test_case "upgrade from shared" `Quick test_upgrade;
+    Alcotest.test_case "exclusive upgrade is hit" `Quick test_exclusive_upgrade_is_hit;
+    Alcotest.test_case "repeated writes uncontended" `Quick test_write_repeated_uncontended;
+    Alcotest.test_case "repeated writes ping-pong" `Quick test_write_repeated_pingpong;
+    Alcotest.test_case "flush line" `Quick test_flush_line;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+    Alcotest.test_case "cpu validation" `Quick test_cpu_validation;
+    QCheck_alcotest.to_alcotest prop_single_cpu_never_transfers;
+    QCheck_alcotest.to_alcotest prop_costs_are_known_values;
+  ]

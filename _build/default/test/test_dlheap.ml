@@ -1,0 +1,280 @@
+(* Tests for the dlmalloc-style heap: boundary tags, bins, top chunk,
+   growth, trim, the mmap threshold, and structural invariants. *)
+
+module M = Core.Machine
+module Dlheap = Core.Dlheap
+module As = Core.Address_space
+
+let config = { M.default_config with M.cpus = 1; op_jitter = 0. }
+
+(* Run [body] in a fresh machine with a fresh main heap. *)
+let with_heap ?(params = Dlheap.default_params) body =
+  let m = M.create ~seed:1 config in
+  let p = M.create_proc m () in
+  let stats = Core.Astats.create () in
+  let heap = Dlheap.create_main p ~costs:Core.Costs.glibc ~params ~stats in
+  ignore (M.spawn p (fun ctx -> body heap stats ctx p));
+  M.run m
+
+let alloc heap ctx size =
+  match Dlheap.malloc heap ctx size with
+  | Some user -> user
+  | None -> Alcotest.fail "unexpected allocation failure"
+
+let check_valid heap =
+  match Dlheap.validate heap with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invariant violation: " ^ msg)
+
+let test_basic_alloc_free () =
+  with_heap (fun heap _ ctx _ ->
+      let a = alloc heap ctx 100 in
+      let b = alloc heap ctx 100 in
+      Alcotest.(check bool) "distinct" true (a <> b);
+      Alcotest.(check bool) "aligned" true (a mod 8 = 0 && b mod 8 = 0);
+      Alcotest.(check bool) "usable >= request" true (Dlheap.usable_size heap a >= 100);
+      Dlheap.free heap ctx a;
+      Dlheap.free heap ctx b;
+      check_valid heap;
+      Alcotest.(check int) "all coalesced into top" 0 (Dlheap.live_chunks heap))
+
+let test_exact_reuse () =
+  with_heap (fun heap _ ctx _ ->
+      let a = alloc heap ctx 256 in
+      let _pin = alloc heap ctx 64 in
+      Dlheap.free heap ctx a;
+      let b = alloc heap ctx 256 in
+      Alcotest.(check int) "free chunk reused exactly" a b)
+
+let test_split_and_remainder () =
+  with_heap (fun heap _ ctx _ ->
+      let big = alloc heap ctx 1000 in
+      let _pin = alloc heap ctx 16 in
+      Dlheap.free heap ctx big;
+      (* A smaller request splits the binned 1008-byte chunk. *)
+      let small = alloc heap ctx 100 in
+      Alcotest.(check int) "reuses the front" big small;
+      check_valid heap;
+      Alcotest.(check bool) "remainder binned" true (Dlheap.free_bytes heap > 0))
+
+let test_coalesce_three_way () =
+  with_heap (fun heap _ ctx _ ->
+      let a = alloc heap ctx 64 in
+      let b = alloc heap ctx 64 in
+      let c = alloc heap ctx 64 in
+      let _pin = alloc heap ctx 64 in
+      Dlheap.free heap ctx a;
+      Dlheap.free heap ctx c;
+      check_valid heap;
+      (* freeing b must merge with both neighbours *)
+      Dlheap.free heap ctx b;
+      check_valid heap;
+      let merged = alloc heap ctx 200 in
+      Alcotest.(check int) "merged region starts at a" a merged)
+
+let test_no_adjacent_free_chunks () =
+  with_heap (fun heap _ ctx _ ->
+      let blocks = List.init 20 (fun _ -> alloc heap ctx 48) in
+      List.iteri (fun i u -> if i mod 2 = 0 then Dlheap.free heap ctx u) blocks;
+      check_valid heap;
+      List.iteri (fun i u -> if i mod 2 = 1 then Dlheap.free heap ctx u) blocks;
+      check_valid heap)
+
+let test_double_free_raises () =
+  with_heap (fun heap _ ctx _ ->
+      let a = alloc heap ctx 32 in
+      let _pin = alloc heap ctx 32 in
+      Dlheap.free heap ctx a;
+      Alcotest.check_raises "double free" (Invalid_argument "Dlheap.free: double free") (fun () ->
+          Dlheap.free heap ctx a))
+
+let test_bad_free_raises () =
+  with_heap (fun heap _ ctx _ ->
+      let _a = alloc heap ctx 32 in
+      Alcotest.check_raises "wild pointer"
+        (Invalid_argument "Dlheap.free: address not owned by this heap") (fun () ->
+          Dlheap.free heap ctx 0xDEAD00))
+
+let test_top_growth_uses_sbrk () =
+  with_heap (fun heap _ ctx p ->
+      let before = As.sbrk_calls (M.proc_vm p) in
+      let _a = alloc heap ctx 512 in
+      Alcotest.(check bool) "sbrk called" true (As.sbrk_calls (M.proc_vm p) > before);
+      let before2 = As.sbrk_calls (M.proc_vm p) in
+      let _b = alloc heap ctx 512 in
+      (* top_pad means nearby allocations reuse the grown top *)
+      Alcotest.(check int) "no extra sbrk" before2 (As.sbrk_calls (M.proc_vm p)))
+
+let test_trim_returns_memory () =
+  let params = { Dlheap.default_params with Dlheap.trim_threshold = 16 * 1024 } in
+  with_heap ~params (fun heap _ ctx p ->
+      let blocks = List.init 64 (fun _ -> alloc heap ctx 1024) in
+      let high = As.brk (M.proc_vm p) in
+      List.iter (fun u -> Dlheap.free heap ctx u) blocks;
+      check_valid heap;
+      Alcotest.(check bool) "brk released" true (As.brk (M.proc_vm p) < high);
+      Alcotest.(check bool) "top under threshold" true (Dlheap.top_bytes heap <= 16 * 1024))
+
+let test_mmap_threshold () =
+  with_heap (fun heap stats ctx p ->
+      let big = alloc heap ctx (Dlheap.default_params.Dlheap.mmap_threshold + 100) in
+      Alcotest.(check int) "mmapped chunk counted" 1 stats.Core.Astats.mmapped_chunks;
+      Alcotest.(check bool) "usable covers request" true
+        (Dlheap.usable_size heap big >= Dlheap.default_params.Dlheap.mmap_threshold + 100);
+      let mmaps = As.munmap_calls (M.proc_vm p) in
+      Dlheap.free heap ctx big;
+      Alcotest.(check bool) "munmapped on free" true (As.munmap_calls (M.proc_vm p) > mmaps);
+      check_valid heap)
+
+let test_sbrk_blocked_falls_back_to_mmap () =
+  (* Squeeze the brk zone so growth hits the ceiling immediately. *)
+  let vm =
+    { As.linux_x86 with
+      As.brk_base = 0x0810_0000;
+      brk_ceiling = 0x0810_0000 + (16 * 4096);
+    }
+  in
+  let m = M.create ~seed:1 { config with M.vm } in
+  let p = M.create_proc m () in
+  let stats = Core.Astats.create () in
+  let heap = Dlheap.create_main p ~costs:Core.Costs.glibc ~params:Dlheap.default_params ~stats in
+  ignore
+    (M.spawn p (fun ctx ->
+         (* Exhaust the sixteen brk pages, then keep allocating. *)
+         let blocks = ref [] in
+         for _ = 1 to 40 do
+           blocks := alloc heap ctx 4000 :: !blocks
+         done;
+         Alcotest.(check bool) "grow failures recorded" true (stats.Core.Astats.grow_failures > 0);
+         Alcotest.(check bool) "mmap fallback used" true (stats.Core.Astats.mmapped_chunks > 0);
+         List.iter (fun u -> Dlheap.free heap ctx u) !blocks;
+         check_valid heap));
+  M.run m
+
+let test_sub_heap_bounded () =
+  let params = { Dlheap.default_params with Dlheap.sub_heap_bytes = 64 * 1024 } in
+  let m = M.create ~seed:1 config in
+  let p = M.create_proc m () in
+  let stats = Core.Astats.create () in
+  ignore
+    (M.spawn p (fun ctx ->
+         let heap = Option.get (Dlheap.create_sub ctx ~costs:Core.Costs.glibc ~params ~stats) in
+         Alcotest.(check bool) "is sub" true (Dlheap.is_sub heap);
+         let rec fill acc =
+           match Dlheap.malloc heap ctx 4096 with
+           | Some u -> fill (u :: acc)
+           | None -> acc
+         in
+         let blocks = fill [] in
+         Alcotest.(check bool) "held about 64KB worth" true
+           (List.length blocks >= 13 && List.length blocks <= 16);
+         check_valid heap;
+         List.iter (fun u -> Dlheap.free heap ctx u) blocks;
+         check_valid heap;
+         (* after freeing everything it can serve again *)
+         Alcotest.(check bool) "reusable after drain" true (Dlheap.malloc heap ctx 4096 <> None)));
+  M.run m
+
+let test_giant_coalesced_chunk_binned () =
+  (* Regression: freeing adjacent blocks can coalesce into a region
+     larger than the mmap threshold; it must land in the catch-all bin,
+     not outside the bin array. *)
+  with_heap (fun heap _ ctx _ ->
+      let blocks = List.init 40 (fun _ -> alloc heap ctx 4096) in
+      let pin = alloc heap ctx 64 in
+      List.iter (fun u -> Dlheap.free heap ctx u) blocks;
+      check_valid heap;
+      Alcotest.(check bool) "giant chunk binned" true (Dlheap.free_bytes heap > 128 * 1024);
+      (* and it is reusable *)
+      let again = alloc heap ctx 100_000 in
+      Dlheap.free heap ctx again;
+      Dlheap.free heap ctx pin;
+      check_valid heap)
+
+let test_owns () =
+  with_heap (fun heap _ ctx _ ->
+      let a = alloc heap ctx 64 in
+      Alcotest.(check bool) "owns its block" true (Dlheap.owns heap a);
+      Alcotest.(check bool) "does not own wild" false (Dlheap.owns heap 0x7777_0000))
+
+let test_segment_bounds () =
+  with_heap (fun heap _ ctx _ ->
+      let base0, end0 = Dlheap.segment_bounds heap in
+      Alcotest.(check int) "empty before first alloc" 0 (end0 - base0);
+      let _a = alloc heap ctx 64 in
+      let base, stop = Dlheap.segment_bounds heap in
+      Alcotest.(check bool) "covers the allocation" true (base <= _a - 8 && _a + 64 <= stop))
+
+(* Property: random malloc/free interleavings preserve every invariant
+   and never hand out overlapping live blocks. *)
+let prop_random_ops =
+  let gen =
+    QCheck.make
+      ~print:(fun ops -> String.concat ";" (List.map (fun (a, s) -> Printf.sprintf "%b/%d" a s) ops))
+      QCheck.Gen.(list_size (int_range 1 120) (pair bool (int_range 1 3000)))
+  in
+  QCheck.Test.make ~name:"random op sequences keep heap invariants" ~count:60 gen (fun ops ->
+      let result = ref true in
+      with_heap (fun heap _ ctx _ ->
+          let live = ref [] in
+          List.iter
+            (fun (do_alloc, size) ->
+              if do_alloc || !live = [] then begin
+                let u = alloc heap ctx size in
+                (* no overlap with any live block *)
+                let ulen = Dlheap.usable_size heap u in
+                if
+                  List.exists
+                    (fun v ->
+                      let vlen = Dlheap.usable_size heap v in
+                      not (u + ulen <= v - 8 || v + vlen <= u - 8))
+                    !live
+                then result := false;
+                live := u :: !live
+              end
+              else begin
+                match !live with
+                | u :: rest ->
+                    Dlheap.free heap ctx u;
+                    live := rest
+                | [] -> ()
+              end;
+              match Dlheap.validate heap with Ok () -> () | Error _ -> result := false)
+            ops;
+          List.iter (fun u -> Dlheap.free heap ctx u) !live;
+          (match Dlheap.validate heap with Ok () -> () | Error _ -> result := false);
+          if Dlheap.live_chunks heap <> 0 then result := false);
+      !result)
+
+let prop_usable_size_covers_request =
+  QCheck.Test.make ~name:"usable_size >= request, bounded overhead" ~count:60
+    QCheck.(int_range 1 200_000)
+    (fun size ->
+      let out = ref true in
+      with_heap (fun heap _ ctx _ ->
+          let u = alloc heap ctx size in
+          let usable = Dlheap.usable_size heap u in
+          (* never less than asked; never more than a page of slack + 16 *)
+          out := usable >= size && usable <= size + 4096 + 16;
+          Dlheap.free heap ctx u);
+      !out)
+
+let suite =
+  [ Alcotest.test_case "basic alloc/free" `Quick test_basic_alloc_free;
+    Alcotest.test_case "exact reuse" `Quick test_exact_reuse;
+    Alcotest.test_case "split and remainder" `Quick test_split_and_remainder;
+    Alcotest.test_case "coalesce three-way" `Quick test_coalesce_three_way;
+    Alcotest.test_case "no adjacent free chunks" `Quick test_no_adjacent_free_chunks;
+    Alcotest.test_case "double free raises" `Quick test_double_free_raises;
+    Alcotest.test_case "bad free raises" `Quick test_bad_free_raises;
+    Alcotest.test_case "top growth uses sbrk" `Quick test_top_growth_uses_sbrk;
+    Alcotest.test_case "trim returns memory" `Quick test_trim_returns_memory;
+    Alcotest.test_case "mmap threshold" `Quick test_mmap_threshold;
+    Alcotest.test_case "sbrk blocked -> mmap fallback" `Quick test_sbrk_blocked_falls_back_to_mmap;
+    Alcotest.test_case "sub heap bounded" `Quick test_sub_heap_bounded;
+    Alcotest.test_case "giant coalesced chunk binned" `Quick test_giant_coalesced_chunk_binned;
+    Alcotest.test_case "owns" `Quick test_owns;
+    Alcotest.test_case "segment bounds" `Quick test_segment_bounds;
+    QCheck_alcotest.to_alcotest prop_random_ops;
+    QCheck_alcotest.to_alcotest prop_usable_size_covers_request;
+  ]

@@ -1,0 +1,17 @@
+(* Integration: every paper artifact and extension regenerates with its
+   shape checks passing, in quick mode. This is the executable form of
+   EXPERIMENTS.md's claims. *)
+
+let opts = Core.Exp_common.quick_opts
+
+let case (id, runner) =
+  Alcotest.test_case id `Slow (fun () ->
+      let outcome = runner opts in
+      List.iter
+        (fun (c : Core.Outcome.check) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s (%s)" id c.Core.Outcome.label c.Core.Outcome.detail)
+            true c.Core.Outcome.pass)
+        outcome.Core.Outcome.checks)
+
+let suite = List.map case Core.Experiments.all

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "malloc-repro"
+    [ ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("sim", Test_sim.suite);
+      ("vm", Test_vm.suite);
+      ("cache", Test_cache.suite);
+      ("machine", Test_machine.suite);
+      ("dlheap", Test_dlheap.suite);
+      ("allocators", Test_allocators.suite);
+      ("workload", Test_workload.suite);
+      ("report", Test_report.suite);
+      ("extensions", Test_extensions.suite);
+      ("experiments", Test_experiments.suite);
+    ]

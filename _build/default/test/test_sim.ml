@@ -1,0 +1,154 @@
+(* Tests for the event queue and the effects-based engine. *)
+
+module Engine = Core.Engine
+module Pqueue = Mb_sim.Pqueue
+
+let test_pqueue_orders_by_time () =
+  let q = Pqueue.create () in
+  List.iter (fun t -> Pqueue.push q ~time:t t) [ 5.; 1.; 3.; 2.; 4. ];
+  let popped = List.init 5 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> -1.) in
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.; 2.; 3.; 4.; 5. ] popped
+
+let test_pqueue_fifo_at_equal_times () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q ~time:1. v) [ "a"; "b"; "c" ];
+  let popped = List.init 3 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?") in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c" ] popped
+
+let test_pqueue_peek_and_length () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Pqueue.push q ~time:2. ();
+  Pqueue.push q ~time:1. ();
+  Alcotest.(check int) "length" 2 (Pqueue.length q);
+  Alcotest.(check (option (float 0.))) "peek" (Some 1.) (Pqueue.peek_time q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing time order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 200) (float_bound_exclusive 1000.))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iter (fun t -> Pqueue.push q ~time:t t) times;
+      let rec drain last =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (t, _) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let test_delay_accumulates () =
+  let e = Engine.create () in
+  let finish = ref 0. in
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.delay 5.;
+         Engine.delay 7.;
+         finish := Engine.now e));
+  Engine.run e;
+  Alcotest.(check (float 0.)) "12 ns" 12. !finish
+
+let test_interleaving_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let say s = log := s :: !log in
+  ignore (Engine.spawn e (fun () -> say "a0"; Engine.delay 10.; say "a1"));
+  ignore (Engine.spawn e (fun () -> say "b0"; Engine.delay 5.; say "b1"));
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a0"; "b0"; "b1"; "a1" ] (List.rev !log)
+
+let test_park_resume () =
+  let e = Engine.create () in
+  let resume = ref None in
+  let woke_at = ref 0. in
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.park (fun r -> resume := Some r);
+         woke_at := Engine.now e));
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.delay 42.;
+         match !resume with Some r -> r () | None -> Alcotest.fail "resume not registered"));
+  Engine.run e;
+  Alcotest.(check (float 0.)) "woken at resume time" 42. !woke_at
+
+let test_double_resume_raises () =
+  let e = Engine.create () in
+  let resume = ref None in
+  ignore (Engine.spawn e (fun () -> Engine.park (fun r -> resume := Some r)));
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.delay 1.;
+         let r = Option.get !resume in
+         r ();
+         Alcotest.check_raises "second resume"
+           (Invalid_argument "Engine: process proc-0 resumed twice") (fun () -> r ())));
+  Engine.run e
+
+let test_stalled_detection () =
+  let e = Engine.create () in
+  ignore (Engine.spawn e ~name:"stuck" (fun () -> Engine.park (fun _ -> ())));
+  Alcotest.check_raises "deadlock" (Engine.Stalled "stuck") (fun () -> Engine.run e)
+
+let test_spawn_from_process () =
+  let e = Engine.create () in
+  let child_ran = ref false in
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.delay 3.;
+         ignore (Engine.spawn e (fun () -> child_ran := true))));
+  Engine.run e;
+  Alcotest.(check bool) "child ran" true !child_ran;
+  Alcotest.(check int) "all finished" 0 (Engine.live e)
+
+let test_at_callback () =
+  let e = Engine.create () in
+  let fired = ref 0. in
+  Engine.at e 9. (fun () -> fired := Engine.now e);
+  Engine.run e;
+  Alcotest.(check (float 0.)) "at time" 9. !fired
+
+let test_at_past_raises () =
+  let e = Engine.create () in
+  Engine.at e 5. (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "Engine.at: time in the past") (fun () ->
+          Engine.at e 1. ignore));
+  Engine.run e
+
+let test_negative_delay_raises () =
+  let e = Engine.create () in
+  ignore
+    (Engine.spawn e (fun () ->
+         Alcotest.check_raises "negative" (Invalid_argument "Engine.delay: negative delay")
+           (fun () -> Engine.delay (-1.))));
+  Engine.run e
+
+let test_yield_lets_peers_run () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.spawn e (fun () -> log := "a0" :: !log; Engine.yield (); log := "a1" :: !log));
+  ignore (Engine.spawn e (fun () -> log := "b0" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "b interleaves" [ "a0"; "b0"; "a1" ] (List.rev !log)
+
+let test_exception_propagates () =
+  let e = Engine.create () in
+  ignore (Engine.spawn e (fun () -> failwith "boom"));
+  Alcotest.check_raises "propagates" (Failure "boom") (fun () -> Engine.run e)
+
+let suite =
+  [ Alcotest.test_case "pqueue time order" `Quick test_pqueue_orders_by_time;
+    Alcotest.test_case "pqueue FIFO ties" `Quick test_pqueue_fifo_at_equal_times;
+    Alcotest.test_case "pqueue peek/length" `Quick test_pqueue_peek_and_length;
+    QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+    Alcotest.test_case "delay accumulates" `Quick test_delay_accumulates;
+    Alcotest.test_case "interleaving order" `Quick test_interleaving_order;
+    Alcotest.test_case "park/resume" `Quick test_park_resume;
+    Alcotest.test_case "double resume raises" `Quick test_double_resume_raises;
+    Alcotest.test_case "stalled detection" `Quick test_stalled_detection;
+    Alcotest.test_case "spawn from process" `Quick test_spawn_from_process;
+    Alcotest.test_case "bare callback" `Quick test_at_callback;
+    Alcotest.test_case "at in the past raises" `Quick test_at_past_raises;
+    Alcotest.test_case "negative delay raises" `Quick test_negative_delay_raises;
+    Alcotest.test_case "yield interleaves" `Quick test_yield_lets_peers_run;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+  ]

@@ -1,0 +1,188 @@
+(* Tests for the simulated address space: brk, mmap, demand paging. *)
+
+module As = Core.Address_space
+
+let small_config =
+  { As.page_size = 4096;
+    brk_base = 0x1_0000;
+    brk_ceiling = 0x8_0000;
+    mmap_base = 0x10_0000;
+    mmap_top = 0x40_0000;
+  }
+
+let make () = As.create small_config
+
+let test_sbrk_grow () =
+  let t = make () in
+  Alcotest.(check (option int)) "returns old brk" (Some 0x1_0000) (As.sbrk t 4096);
+  Alcotest.(check int) "brk moved" 0x1_1000 (As.brk t);
+  Alcotest.(check (option int)) "second grow" (Some 0x1_1000) (As.sbrk t 8192)
+
+let test_sbrk_shrink () =
+  let t = make () in
+  ignore (As.sbrk t 8192);
+  ignore (As.touch t 0x1_0000 ~len:8192);
+  Alcotest.(check int) "2 pages resident" 2 (As.resident_pages t);
+  Alcotest.(check bool) "shrink ok" true (As.sbrk t (-4096) <> None);
+  Alcotest.(check int) "vacated page dropped" 1 (As.resident_pages t);
+  Alcotest.(check (option int)) "below base fails" None (As.sbrk t (-2 * 4096))
+
+let test_sbrk_ceiling () =
+  let t = make () in
+  Alcotest.(check (option int)) "past ceiling" None (As.sbrk t 0x10_0000);
+  Alcotest.(check int) "brk unmoved" 0x1_0000 (As.brk t)
+
+let test_sbrk_blocked_by_mapping () =
+  let t = make () in
+  (* A fixed mapping in the middle of the heap range, like a shared
+     library the paper says sbrk cannot allocate around. *)
+  As.map_fixed t 0x2_0000 ~len:4096;
+  Alcotest.(check (option int)) "grow into mapping fails" None (As.sbrk t 0x1_8000);
+  Alcotest.(check bool) "small grow ok" true (As.sbrk t 4096 <> None)
+
+let test_mmap_first_fit () =
+  let t = make () in
+  let a = Option.get (As.mmap t ~len:4096) in
+  let b = Option.get (As.mmap t ~len:4096) in
+  Alcotest.(check int) "first at base" small_config.As.mmap_base a;
+  Alcotest.(check int) "second right after" (a + 4096) b
+
+let test_mmap_rounds_to_pages () =
+  let t = make () in
+  let a = Option.get (As.mmap t ~len:100) in
+  let b = Option.get (As.mmap t ~len:100) in
+  Alcotest.(check int) "page granularity" 4096 (b - a)
+
+let test_munmap_reuse () =
+  let t = make () in
+  let a = Option.get (As.mmap t ~len:8192) in
+  let b = Option.get (As.mmap t ~len:4096) in
+  As.munmap t a ~len:8192;
+  let c = Option.get (As.mmap t ~len:4096) in
+  Alcotest.(check int) "gap reused first-fit" a c;
+  Alcotest.(check bool) "b untouched" true (As.is_mapped t b)
+
+let test_munmap_validation () =
+  let t = make () in
+  let a = Option.get (As.mmap t ~len:8192) in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Address_space.munmap: length or kind mismatch") (fun () ->
+      As.munmap t a ~len:4096);
+  Alcotest.check_raises "no mapping" (Invalid_argument "Address_space.munmap: no mapping at address")
+    (fun () -> As.munmap t 0x30_0000 ~len:4096)
+
+let test_map_fixed_overlap () =
+  let t = make () in
+  As.map_fixed t 0x20_0000 ~len:8192;
+  Alcotest.check_raises "overlap" (Invalid_argument "Address_space.map_fixed: overlap") (fun () ->
+      As.map_fixed t 0x20_1000 ~len:4096)
+
+let test_touch_counts_faults () =
+  let t = make () in
+  ignore (As.sbrk t (4 * 4096));
+  Alcotest.(check int) "two pages" 2 (As.touch t 0x1_0000 ~len:8192);
+  Alcotest.(check int) "already resident" 0 (As.touch t 0x1_0000 ~len:8192);
+  Alcotest.(check int) "straddles into third" 1 (As.touch t 0x1_1ff0 ~len:32);
+  Alcotest.(check int) "total" 3 (As.minor_faults t)
+
+let test_segfault () =
+  let t = make () in
+  Alcotest.(check bool) "unmapped" false (As.is_mapped t 0x30_0000);
+  (try
+     ignore (As.touch t 0x30_0000 ~len:1);
+     Alcotest.fail "expected segfault"
+   with As.Segfault a -> Alcotest.(check int) "faulting address" 0x30_0000 a)
+
+let test_munmap_drops_residency () =
+  let t = make () in
+  let a = Option.get (As.mmap t ~len:8192) in
+  ignore (As.touch t a ~len:8192);
+  Alcotest.(check int) "resident" 2 (As.resident_pages t);
+  As.munmap t a ~len:8192;
+  Alcotest.(check int) "dropped" 0 (As.resident_pages t);
+  (* Remapping the same range faults again: how thread stacks re-fault in
+     benchmark 2. *)
+  let b = Option.get (As.mmap t ~len:8192) in
+  Alcotest.(check int) "same address" a b;
+  Alcotest.(check int) "refaults" 2 (As.touch t b ~len:8192)
+
+let test_mapped_bytes () =
+  let t = make () in
+  ignore (As.sbrk t 4096);
+  ignore (As.mmap t ~len:8192);
+  Alcotest.(check int) "brk + mappings" (4096 + 8192) (As.mapped_bytes t)
+
+let test_syscall_counters () =
+  let t = make () in
+  ignore (As.sbrk t 4096);
+  ignore (As.sbrk t 4096);
+  let a = Option.get (As.mmap t ~len:4096) in
+  As.munmap t a ~len:4096;
+  Alcotest.(check int) "sbrk calls" 2 (As.sbrk_calls t);
+  Alcotest.(check int) "mmap calls" 1 (As.mmap_calls t);
+  Alcotest.(check int) "munmap calls" 1 (As.munmap_calls t)
+
+let test_mmap_exhaustion () =
+  let t = make () in
+  let zone = small_config.As.mmap_top - small_config.As.mmap_base in
+  Alcotest.(check bool) "fill the zone" true (As.mmap t ~len:zone <> None);
+  Alcotest.(check (option int)) "exhausted" None (As.mmap t ~len:4096)
+
+(* Random mmap/munmap sequences keep live regions disjoint. *)
+let prop_mmap_disjoint =
+  QCheck.Test.make ~name:"live mappings never overlap" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 60) (pair bool (int_range 1 5)))
+    (fun ops ->
+      let t = make () in
+      let live = ref [] in
+      List.iter
+        (fun (do_map, pages) ->
+          if do_map || !live = [] then begin
+            match As.mmap t ~len:(pages * 4096) with
+            | Some a -> live := (a, pages * 4096) :: !live
+            | None -> ()
+          end
+          else begin
+            match !live with
+            | (a, len) :: rest ->
+                As.munmap t a ~len;
+                live := rest
+            | [] -> ()
+          end)
+        ops;
+      (* pairwise disjoint *)
+      let rec disjoint = function
+        | [] -> true
+        | (a, la) :: rest ->
+            List.for_all (fun (b, lb) -> a + la <= b || b + lb <= a) rest && disjoint rest
+      in
+      disjoint !live)
+
+let prop_fault_count_matches_pages =
+  QCheck.Test.make ~name:"touching n pages faults n times" ~count:100
+    QCheck.(int_range 1 32)
+    (fun pages ->
+      let t = make () in
+      match As.mmap t ~len:(pages * 4096) with
+      | None -> true
+      | Some a -> As.touch t a ~len:(pages * 4096) = pages && As.touch t a ~len:(pages * 4096) = 0)
+
+let suite =
+  [ Alcotest.test_case "sbrk grow" `Quick test_sbrk_grow;
+    Alcotest.test_case "sbrk shrink" `Quick test_sbrk_shrink;
+    Alcotest.test_case "sbrk ceiling" `Quick test_sbrk_ceiling;
+    Alcotest.test_case "sbrk blocked by mapping" `Quick test_sbrk_blocked_by_mapping;
+    Alcotest.test_case "mmap first fit" `Quick test_mmap_first_fit;
+    Alcotest.test_case "mmap page rounding" `Quick test_mmap_rounds_to_pages;
+    Alcotest.test_case "munmap reuse" `Quick test_munmap_reuse;
+    Alcotest.test_case "munmap validation" `Quick test_munmap_validation;
+    Alcotest.test_case "map_fixed overlap" `Quick test_map_fixed_overlap;
+    Alcotest.test_case "touch counts faults" `Quick test_touch_counts_faults;
+    Alcotest.test_case "segfault on unmapped" `Quick test_segfault;
+    Alcotest.test_case "munmap drops residency" `Quick test_munmap_drops_residency;
+    Alcotest.test_case "mapped bytes" `Quick test_mapped_bytes;
+    Alcotest.test_case "syscall counters" `Quick test_syscall_counters;
+    Alcotest.test_case "mmap exhaustion" `Quick test_mmap_exhaustion;
+    QCheck_alcotest.to_alcotest prop_mmap_disjoint;
+    QCheck_alcotest.to_alcotest prop_fault_count_matches_pages;
+  ]
