@@ -9,8 +9,14 @@
    measures the wall-clock cost of the miniature kernel of that
    experiment's workload on this host, i.e. the simulator's own speed.
 
-   Set MALLOC_REPRO_QUICK=1 for reduced iteration counts, and
-   MALLOC_REPRO_NO_BECHAMEL=1 to skip phase 2. *)
+   Both phases are timed, and the results land in BENCH_kernels.json
+   (kernel name -> ns/run plus the harness's own wall clock) so the
+   reproduction's speed can be tracked across PRs.
+
+   Set MALLOC_REPRO_QUICK=1 for reduced iteration counts,
+   MALLOC_REPRO_NO_BECHAMEL=1 to skip phase 2, MALLOC_REPRO_JOBS=N to
+   set the experiment pool width (default: all cores), and
+   MALLOC_REPRO_BENCH_JSON to redirect the JSON report. *)
 
 let quick = Sys.getenv_opt "MALLOC_REPRO_QUICK" <> None
 
@@ -95,25 +101,86 @@ let run_bechamel () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   print_endline "=== bechamel: simulator kernel cost per paper artifact (host wall clock) ===";
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  List.iter
+  let rows = List.sort compare rows in
+  List.filter_map
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
-      | Some [ ns ] -> Printf.printf "%-28s %12.0f ns/run\n" name ns
-      | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
-    (List.sort compare rows)
+      | Some [ ns ] ->
+          Printf.printf "%-28s %12.0f ns/run\n" name ns;
+          Some (name, ns)
+      | Some _ | None ->
+          Printf.printf "%-28s (no estimate)\n" name;
+          None)
+    rows
+
+(* --- BENCH_kernels.json ------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* The kernel names come back from bechamel as "kernels/<artifact>"; keep
+   just the artifact so the JSON keys are stable across grouping changes. *)
+let kernel_key name =
+  match String.rindex_opt name '/' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let write_json path ~jobs ~experiments_wall_s ~bechamel_wall_s ~total_wall_s kernels =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": 1,\n";
+  Printf.fprintf oc "  \"mode\": %S,\n" (if quick then "quick" else "full");
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"experiments_wall_s\": %.3f,\n" experiments_wall_s;
+  Printf.fprintf oc "  \"bechamel_wall_s\": %.3f,\n" bechamel_wall_s;
+  Printf.fprintf oc "  \"total_wall_s\": %.3f,\n" total_wall_s;
+  Printf.fprintf oc "  \"kernels_ns_per_run\": {";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "%s\n    \"%s\": %.1f" (if i = 0 then "" else ",")
+        (json_escape (kernel_key name)) ns)
+    kernels;
+  Printf.fprintf oc "%s}\n}\n" (if kernels = [] then "" else "\n  ");
+  close_out oc
 
 (* --- main ---------------------------------------------------------------- *)
 
 let () =
   let opts = { Core.Exp_common.quick; seed = 1 } in
-  Printf.printf "malloc() reproduction benchmark harness (%s mode)\n\n"
-    (if quick then "quick" else "full");
+  let jobs = Core.Pool.default_jobs () in
+  Printf.printf "malloc() reproduction benchmark harness (%s mode, %d job%s)\n\n"
+    (if quick then "quick" else "full")
+    jobs
+    (if jobs = 1 then "" else "s");
+  let t0 = Unix.gettimeofday () in
   let outcomes = Core.Experiments.run_all opts in
+  let t1 = Unix.gettimeofday () in
   print_endline "== summary: paper artifacts and extensions ==";
   List.iter (fun o -> print_endline (Core.Outcome.summary_line o)) outcomes;
   let failed = List.filter (fun o -> not (Core.Outcome.passed o)) outcomes in
   Printf.printf "\n%d/%d experiments reproduce the paper's shape\n\n"
     (List.length outcomes - List.length failed)
     (List.length outcomes);
-  if Sys.getenv_opt "MALLOC_REPRO_NO_BECHAMEL" = None then run_bechamel ();
+  let kernels =
+    if Sys.getenv_opt "MALLOC_REPRO_NO_BECHAMEL" = None then run_bechamel () else []
+  in
+  let t2 = Unix.gettimeofday () in
+  let json_path =
+    match Sys.getenv_opt "MALLOC_REPRO_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_kernels.json"
+  in
+  write_json json_path ~jobs ~experiments_wall_s:(t1 -. t0) ~bechamel_wall_s:(t2 -. t1)
+    ~total_wall_s:(t2 -. t0) kernels;
+  Printf.printf "wall clock: experiments %.1fs, bechamel %.1fs -> %s\n" (t1 -. t0) (t2 -. t1)
+    json_path;
   if failed <> [] then exit 1

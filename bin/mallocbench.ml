@@ -194,10 +194,10 @@ let server_cmd =
 (* --- experiment --------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run ids quick seed csv_dir =
+  let run ids quick seed csv_dir jobs =
     let opts = { Core.Exp_common.quick; seed } in
     let only = match ids with [] -> None | ids -> Some ids in
-    let outcomes = Core.Experiments.run_all ?only opts in
+    let outcomes = Core.Experiments.run_all ?jobs ?only opts in
     (match csv_dir with
     | None -> ()
     | Some dir ->
@@ -219,9 +219,24 @@ let experiment_cmd =
   let csv_dir =
     Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc:"Also write series as CSV files.")
   in
+  let jobs =
+    let pos_int =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok n
+        | Some _ | None -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(value & opt (some pos_int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Run experiments on a pool of $(docv) domains (default: \
+                   $(b,MALLOC_REPRO_JOBS) or all cores). Output is identical for any \
+                   width.")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
-    Term.(const run $ ids $ quick $ seed_arg $ csv_dir)
+    Term.(const run $ ids $ quick $ seed_arg $ csv_dir $ jobs)
 
 (* --- list ---------------------------------------------------------------- *)
 

@@ -13,7 +13,12 @@ type t = {
   costs : Costs.t;
   mutable params : Dlheap.params;
   stats : Astats.t;
-  mutable arenas : arena array;     (* creation order; main arena first *)
+  mutable arenas : arena array;     (* creation order; main arena first.
+                                       Capacity array: only slots
+                                       0 .. n_arenas-1 are live, so
+                                       appending an arena is amortized
+                                       O(1) instead of an O(n) copy. *)
+  mutable n_arenas : int;
   tl_arena : (int, arena) Hashtbl.t;  (* thread id -> last-used arena *)
   mutable meta_base : int;          (* descriptor region; -1 until mapped *)
   meta_phase : int;                 (* per-run layout phase, 0..31 *)
@@ -45,7 +50,8 @@ let make proc ?(costs = Costs.glibc) ?(params = Dlheap.default_params) ?max_aren
     costs;
     params;
     stats;
-    arenas = [| main |];
+    arenas = Array.make 4 main;  (* slots >= n_arenas are padding *)
+    n_arenas = 1;
     tl_arena = Hashtbl.create 16;
     meta_base = -1;
     meta_phase = Rng.int (M.rng machine) 32;
@@ -54,21 +60,44 @@ let make proc ?(costs = Costs.glibc) ?(params = Dlheap.default_params) ?max_aren
     arena_init_cycles = 2500;
   }
 
-let arena_count t = Array.length t.arenas
+let arena_count t = t.n_arenas
+
+(* Live prefix of the capacity array; for cold accessors only. *)
+let live_arenas t = Array.sub t.arenas 0 t.n_arenas
+
+(* Amortized-growth append: double the capacity when full. *)
+let push_arena t arena =
+  let cap = Array.length t.arenas in
+  if t.n_arenas = cap then begin
+    let narr = Array.make (2 * cap) arena in
+    Array.blit t.arenas 0 narr 0 cap;
+    t.arenas <- narr
+  end;
+  t.arenas.(t.n_arenas) <- arena;
+  t.n_arenas <- t.n_arenas + 1
+
+let fold_arenas t f init =
+  let acc = ref init in
+  for i = 0 to t.n_arenas - 1 do
+    acc := f !acc t.arenas.(i)
+  done;
+  !acc
 
 let arena_of_thread t tid =
   match Hashtbl.find_opt t.tl_arena tid with Some a -> Some a.aindex | None -> None
 
-let arena_live_chunks t = Array.to_list (Array.map (fun a -> Dlheap.live_chunks a.heap) t.arenas)
+let arena_live_chunks t =
+  Array.to_list (Array.map (fun a -> Dlheap.live_chunks a.heap) (live_arenas t))
 
-let arena_free_bytes t = Array.to_list (Array.map (fun a -> Dlheap.free_bytes a.heap) t.arenas)
+let arena_free_bytes t =
+  Array.to_list (Array.map (fun a -> Dlheap.free_bytes a.heap) (live_arenas t))
 
 let heap_bytes t =
-  Array.fold_left
+  fold_arenas t
     (fun acc a ->
       let base, stop = Dlheap.segment_bounds a.heap in
       acc + (stop - base))
-    0 t.arenas
+    0
 
 (* Create a fresh arena, append it to the list, and return it. Its
    descriptor is packed at [meta_base + phase + 16 * (index - 1)], so two
@@ -100,7 +129,7 @@ let create_arena t ctx =
               aindex;
             }
           in
-          t.arenas <- Array.append t.arenas [| arena |];
+          push_arena t arena;
           Some arena)
 
 (* The heart of ptmalloc: find an arena we can lock without waiting.
@@ -112,7 +141,7 @@ let acquire_arena t ctx =
   else begin
     t.stats.Astats.contended_ops <- t.stats.Astats.contended_ops + 1;
     let rec scan i =
-      if i >= Array.length t.arenas then None
+      if i >= t.n_arenas then None
       else begin
         let a = t.arenas.(i) in
         if a != preferred then begin
@@ -171,7 +200,7 @@ let malloc t ctx size =
   malloc_with t ctx arena size 0
 
 let owning_arena t ctx user =
-  let n = Array.length t.arenas in
+  let n = t.n_arenas in
   let rec scan i =
     if i >= n then None
     else begin
@@ -201,7 +230,7 @@ let free t ctx user =
 
 let usable_size t user =
   let rec scan i =
-    if i >= Array.length t.arenas then invalid_arg "ptmalloc.usable_size: unknown address"
+    if i >= t.n_arenas then invalid_arg "ptmalloc.usable_size: unknown address"
     else if Dlheap.owns t.arenas.(i).heap user then Dlheap.usable_size t.arenas.(i).heap user
     else scan (i + 1)
   in
@@ -209,7 +238,7 @@ let usable_size t user =
 
 let validate t =
   let rec check i =
-    if i >= Array.length t.arenas then Ok ()
+    if i >= t.n_arenas then Ok ()
     else
       match Dlheap.validate t.arenas.(i).heap with
       | Ok () -> check (i + 1)
@@ -241,7 +270,9 @@ let mallopt t tunable =
     | Fastbins v -> { t.params with Dlheap.use_fastbins = v }
   in
   t.params <- params;
-  Array.iter (fun a -> Dlheap.set_params a.heap params) t.arenas
+  for i = 0 to t.n_arenas - 1 do
+    Dlheap.set_params t.arenas.(i).heap params
+  done
 
 type mallinfo = {
   arena : int;      (* bytes of heap segments (brk extent + sub-heap use) *)
@@ -254,22 +285,13 @@ type mallinfo = {
 }
 
 let mallinfo t =
-  let seg_bytes =
-    Array.fold_left
-      (fun acc a ->
-        let base, stop = Dlheap.segment_bounds a.heap in
-        acc + (stop - base))
-      0 t.arenas
-  in
-  { arena = seg_bytes;
-    narenas = Array.length t.arenas;
-    hblks = Array.fold_left (fun acc a -> acc + Dlheap.mmapped_count a.heap) 0 t.arenas;
-    hblkhd = Array.fold_left (fun acc a -> acc + Dlheap.mmapped_bytes a.heap) 0 t.arenas;
-    uordblks = Array.fold_left (fun acc a -> acc + Dlheap.used_bytes a.heap) 0 t.arenas;
+  { arena = heap_bytes t;
+    narenas = t.n_arenas;
+    hblks = fold_arenas t (fun acc a -> acc + Dlheap.mmapped_count a.heap) 0;
+    hblkhd = fold_arenas t (fun acc a -> acc + Dlheap.mmapped_bytes a.heap) 0;
+    uordblks = fold_arenas t (fun acc a -> acc + Dlheap.used_bytes a.heap) 0;
     fordblks =
-      Array.fold_left
-        (fun acc a -> acc + Dlheap.free_bytes a.heap + Dlheap.top_bytes a.heap)
-        0 t.arenas;
+      fold_arenas t (fun acc a -> acc + Dlheap.free_bytes a.heap + Dlheap.top_bytes a.heap) 0;
     keepcost = Dlheap.top_bytes t.arenas.(0).heap;
   }
 

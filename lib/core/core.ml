@@ -46,6 +46,7 @@ module Trace = Mb_workload.Trace
 module Larson = Mb_workload.Larson
 
 (* Support. *)
+module Pool = Mb_parallel.Pool
 module Rng = Mb_prng.Rng
 module Summary = Mb_stats.Summary
 module Series = Mb_stats.Series

@@ -102,16 +102,41 @@ let table3 opts =
 
 let sweep_params opts machine factory size = base_params opts machine factory size
 
+(* One pool task per (thread-count, seed) cell: submitting the whole
+   sweep grid at once lets the expensive high-thread-count runs overlap
+   instead of serializing point by point. Joined in submission order, so
+   the summaries match the sequential sweep exactly. *)
 let thread_sweep ~params ~threads ~runs =
-  List.map
-    (fun t ->
-      let summaries, results =
-        bench1_runs { params with Bench1.workers = t; mode = Mb_workload.Bench1.Threads } ~runs
-      in
-      let all = Summary.of_list (List.concat_map (fun r -> r.Bench1.scaled_s) results) in
-      ignore summaries;
-      (t, all))
-    threads
+  let pool = Mb_parallel.Pool.global () in
+  let cells = List.concat_map (fun t -> List.init runs (fun i -> (t, i))) threads in
+  let results =
+    Mb_parallel.Pool.map_list pool ~key:"bench1-cell"
+      ~f:(fun _ (t, i) ->
+        Bench1.run
+          { params with
+            Bench1.workers = t;
+            mode = Mb_workload.Bench1.Threads;
+            seed = params.Bench1.seed + (i * 101);
+          })
+      cells
+  in
+  let rec take n xs =
+    if n = 0 then ([], xs)
+    else
+      match xs with
+      | x :: tl ->
+          let a, b = take (n - 1) tl in
+          (x :: a, b)
+      | [] -> invalid_arg "thread_sweep: result list shorter than the grid"
+  in
+  let rec regroup acc results = function
+    | [] -> List.rev acc
+    | t :: rest ->
+        let group, results = take runs results in
+        let all = Summary.of_list (List.concat_map (fun r -> r.Bench1.scaled_s) group) in
+        regroup ((t, all) :: acc) results rest
+  in
+  regroup [] results threads
 
 let sweep_outcome ~id ~title ~machine ~factory ~size ~threads ~paper ~checks_of opts =
   let params = sweep_params opts machine factory size in

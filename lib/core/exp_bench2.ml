@@ -24,17 +24,44 @@ let base_params opts machine =
     objects_per_thread = pick opts ~full:6_000 ~quick:2_000;
   }
 
-(* Run [runs] seeds of one (threads, rounds) cell and summarize faults. *)
-let fault_runs params ~runs ~threads ~rounds =
-  let results =
-    List.init runs (fun i ->
-        Bench2.run { params with Bench2.threads; rounds; seed = params.Bench2.seed + (i * 211) })
-  in
-  (Summary.of_list (List.map (fun r -> float_of_int r.Bench2.minor_faults) results), results)
+let fault_summary results =
+  Summary.of_list (List.map (fun r -> float_of_int r.Bench2.minor_faults) results)
 
-(* Sweep rounds for a fixed thread count: the shape of figures 5-7. *)
+let fault_cell params ~threads ~rounds i =
+  Bench2.run { params with Bench2.threads; rounds; seed = params.Bench2.seed + (i * 211) }
+
+(* Sweep rounds for a fixed thread count: the shape of figures 5-8.
+   Every (rounds, seed) cell is an independent simulation, so the whole
+   grid goes to the pool at once — the long 80-round runs of figure 8 no
+   longer serialize behind each other — and the flat result list is
+   regrouped in submission order, keeping the output byte-identical to
+   the sequential nested loops. *)
 let rounds_sweep params ~runs ~threads ~rounds_list =
-  List.map (fun rounds -> (rounds, fault_runs params ~runs ~threads ~rounds)) rounds_list
+  let pool = Mb_parallel.Pool.global () in
+  let cells =
+    List.concat_map (fun rounds -> List.init runs (fun i -> (rounds, i))) rounds_list
+  in
+  let results =
+    Mb_parallel.Pool.map_list pool ~key:"bench2-cell"
+      ~f:(fun _ (rounds, i) -> fault_cell params ~threads ~rounds i)
+      cells
+  in
+  let rec take n xs =
+    if n = 0 then ([], xs)
+    else
+      match xs with
+      | x :: tl ->
+          let a, b = take (n - 1) tl in
+          (x :: a, b)
+      | [] -> invalid_arg "rounds_sweep: result list shorter than the grid"
+  in
+  let rec regroup acc results = function
+    | [] -> List.rev acc
+    | rounds :: rest ->
+        let group, results = take runs results in
+        regroup ((rounds, (fault_summary group, group)) :: acc) results rest
+  in
+  regroup [] results rounds_list
 
 let sweep_series label data =
   [ Series.of_summaries ~label:(label ^ " avg")

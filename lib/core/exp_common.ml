@@ -1,5 +1,6 @@
 module Bench1 = Mb_workload.Bench1
 module Summary = Mb_stats.Summary
+module Pool = Mb_parallel.Pool
 
 type opts = { quick : bool; seed : int }
 
@@ -9,14 +10,22 @@ let quick_opts = { quick = true; seed = 1 }
 
 let pick opts ~full ~quick = if opts.quick then quick else full
 
-let bench1_runs params ~runs =
+let bench1_runs ?pool params ~runs =
+  let pool = match pool with Some p -> p | None -> Pool.global () in
+  (* Each repeat is seeded independently, so the repeats are embarrassingly
+     parallel; joining in submission order keeps the result list identical
+     to the sequential List.init it replaces. *)
   let results =
-    List.init runs (fun i -> Bench1.run { params with Bench1.seed = params.Bench1.seed + (i * 101) })
+    Pool.map_list pool ~key:"bench1-run"
+      ~f:(fun i () -> Bench1.run { params with Bench1.seed = params.Bench1.seed + (i * 101) })
+      (List.init runs (fun _ -> ()))
   in
   let workers = params.Bench1.workers in
+  (* Single-pass transpose: materialize each run's per-worker times once
+     (O(runs * workers)) instead of List.nth per cell (O(runs * workers^2)). *)
+  let rows = List.map (fun r -> Array.of_list r.Bench1.scaled_s) results in
   let per_position =
-    List.init workers (fun pos ->
-        Summary.of_list (List.map (fun r -> List.nth r.Bench1.scaled_s pos) results))
+    List.init workers (fun pos -> Summary.of_list (List.map (fun row -> row.(pos)) rows))
   in
   (per_position, results)
 

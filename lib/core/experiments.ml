@@ -40,15 +40,30 @@ let find id = List.assoc_opt id all
 
 let ids = List.map fst all
 
-let run_all ?only opts =
+(* Every experiment is an independent deterministic computation, so the
+   registry fans out across a domain pool. Futures are joined — and
+   outcomes printed — in registry order from the calling domain, which
+   makes the output byte-identical for any pool width (including the
+   sequential width-1 pool). *)
+let run_all ?jobs ?(echo = true) ?only opts =
   let selected =
     match only with
     | None -> all
     | Some wanted -> List.filter (fun (id, _) -> List.mem id wanted) all
   in
-  List.map
-    (fun (_, runner) ->
-      let outcome = runner opts in
-      Outcome.print outcome;
-      outcome)
-    selected
+  let run pool =
+    let futures =
+      List.map
+        (fun (id, runner) -> Mb_parallel.Pool.submit pool ~key:id (fun () -> runner opts))
+        selected
+    in
+    List.map
+      (fun future ->
+        let outcome = Mb_parallel.Pool.await pool future in
+        if echo then Outcome.print outcome;
+        outcome)
+      futures
+  in
+  match jobs with
+  | Some jobs -> Mb_parallel.Pool.with_pool ~jobs run
+  | None -> run (Mb_parallel.Pool.global ())

@@ -17,6 +17,14 @@ val find : string -> runner option
 
 val ids : string list
 
-val run_all : ?only:string list -> Exp_common.opts -> Outcome.t list
-(** Runs (a subset of) the registry in order, printing each outcome as it
-    completes, and returns them. *)
+val run_all :
+  ?jobs:int -> ?echo:bool -> ?only:string list -> Exp_common.opts -> Outcome.t list
+(** Runs (a subset of) the registry, printing each outcome (unless
+    [~echo:false]) and returning them in registry order.
+
+    Experiments execute on a domain pool: [?jobs] forces a dedicated
+    pool of that width for this call; otherwise the global pool is used
+    (width [MALLOC_REPRO_JOBS], default
+    [Domain.recommended_domain_count ()]). Results and printed output
+    are byte-identical for every width — parallelism only changes wall
+    clock. *)

@@ -21,9 +21,14 @@ let summary_line t =
   let total = List.length t.checks in
   Printf.sprintf "%-16s %s (%d/%d checks)" t.id (if pass = total then "OK  " else "FAIL") pass total
 
-let print t =
-  Printf.printf "=== %s: %s ===\n%s\n" t.id t.title t.text;
+let to_string t =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "=== %s: %s ===\n%s\n" t.id t.title t.text;
   List.iter
-    (fun c -> Printf.printf "  [%s] %s: %s\n" (if c.pass then "pass" else "FAIL") c.label c.detail)
+    (fun c ->
+      Printf.bprintf b "  [%s] %s: %s\n" (if c.pass then "pass" else "FAIL") c.label c.detail)
     t.checks;
-  print_newline ()
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let print t = print_string (to_string t)

@@ -26,4 +26,9 @@ val passed : t -> bool
 val summary_line : t -> string
 (** One line: id, pass/fail counts. *)
 
+val to_string : t -> string
+(** The exact text {!print} emits: header, rendered body, check lines,
+    trailing blank line. Lets callers compare harness output without
+    capturing stdout. *)
+
 val print : t -> unit

@@ -1,0 +1,66 @@
+(** Fixed-size domain pool with deterministic, submission-ordered joins.
+
+    The pool exists to parallelize the experiment harness across CPU
+    cores without changing any observable output: tasks are pure
+    computations (no printing inside a task), and callers join futures
+    in submission order, so the sequence of results — and anything
+    printed from them by the joining domain — is byte-identical to a
+    sequential run.
+
+    Width 1 is special-cased: [submit] runs the task immediately on the
+    calling domain and no worker domains are spawned, reproducing the
+    exact single-threaded behavior (and cost profile) of a pool-free
+    harness.
+
+    Widths above 1 spawn [jobs - 1] worker domains; the submitting
+    domain "steals" queued work while it waits in {!await}, so nested
+    submissions (a pool task that itself submits sub-tasks and joins
+    them) cannot deadlock even when every worker is busy. *)
+
+type t
+(** A pool of worker domains plus a shared FIFO task queue. *)
+
+type 'a future
+(** Handle to a submitted task's eventual result (or exception). *)
+
+val create : jobs:int -> t
+(** [create ~jobs] makes a pool of total width [jobs] (>= 1): the
+    calling domain plus [jobs - 1] spawned worker domains.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Total width the pool was created with. *)
+
+val submit : t -> key:string -> (unit -> 'a) -> 'a future
+(** [submit t ~key f] queues [f] for execution. [key] is a stable label
+    used in error messages; it does not affect scheduling. On a
+    width-1 pool, [f] runs right here, right now. Exceptions raised by
+    [f] are captured and re-raised (with backtrace) by {!await}. *)
+
+val await : t -> 'a future -> 'a
+(** Block until the future's task has run, returning its result or
+    re-raising its exception. While waiting, the calling domain
+    executes other queued tasks (helping), so it is safe to await from
+    inside a pool task. *)
+
+val map_list : t -> key:string -> f:(int -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_list t ~key ~f xs] submits [f i x] for each element and joins
+    in submission order: the result list lines up with [xs] exactly as
+    [List.mapi f xs] would, regardless of pool width. *)
+
+val shutdown : t -> unit
+(** Stop and join all worker domains. Idempotent. Futures not yet run
+    are abandoned; awaiting them afterwards raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** Scoped [create]/[shutdown]. *)
+
+val default_jobs : unit -> int
+(** Pool width requested by the environment: [MALLOC_REPRO_JOBS] if
+    set (must be a positive integer), else
+    [Domain.recommended_domain_count ()]. *)
+
+val global : unit -> t
+(** The process-wide pool, created on first use with
+    [~jobs:(default_jobs ())] and shut down automatically at exit.
+    Safe to call from any domain. *)

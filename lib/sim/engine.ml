@@ -5,7 +5,11 @@ type t = {
   queue : (unit -> unit) Pqueue.t;
   mutable next_pid : int;
   mutable live : int;
-  parked : (pid, string) Hashtbl.t;  (* processes currently suspended *)
+  (* Processes currently suspended, indexed by pid: a flat array beats a
+     Hashtbl on the park/resume hot path (no hashing, no bucket walk).
+     Slot [pid] holds the process name while it is parked. *)
+  mutable parked : string option array;
+  mutable parked_count : int;
 }
 
 exception Stalled of string
@@ -14,7 +18,13 @@ type _ Effect.t += Delay : float -> unit Effect.t
 type _ Effect.t += Park : ((unit -> unit) -> unit) -> unit Effect.t
 
 let create () =
-  { clock = 0.; queue = Pqueue.create (); next_pid = 0; live = 0; parked = Hashtbl.create 16 }
+  { clock = 0.;
+    queue = Pqueue.create ();
+    next_pid = 0;
+    live = 0;
+    parked = Array.make 16 None;
+    parked_count = 0;
+  }
 
 let now t = t.clock
 
@@ -28,6 +38,19 @@ let park register = Effect.perform (Park register)
 
 let yield () = delay 0.
 
+let set_parked t pid name =
+  (match t.parked.(pid) with
+  | None -> t.parked_count <- t.parked_count + 1
+  | Some _ -> ());
+  t.parked.(pid) <- Some name
+
+let clear_parked t pid =
+  match t.parked.(pid) with
+  | None -> ()
+  | Some _ ->
+      t.parked.(pid) <- None;
+      t.parked_count <- t.parked_count - 1
+
 (* Run one step of a process body under the engine's effect handler. The
    handler is installed once per process; continuations captured by Delay
    and Park re-enter it automatically (deep handlers). *)
@@ -35,7 +58,7 @@ let start t pid name body =
   let open Effect.Deep in
   let finish () =
     t.live <- t.live - 1;
-    Hashtbl.remove t.parked pid
+    clear_parked t pid
   in
   let handler =
     { effc =
@@ -50,13 +73,13 @@ let start t pid name body =
           | Park register ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  Hashtbl.replace t.parked pid name;
+                  set_parked t pid name;
                   let resumed = ref false in
                   let resume () =
                     if !resumed then
                       invalid_arg (Printf.sprintf "Engine: process %s resumed twice" name);
                     resumed := true;
-                    Hashtbl.remove t.parked pid;
+                    clear_parked t pid;
                     at t t.clock (fun () -> continue k ())
                   in
                   register resume)
@@ -80,6 +103,12 @@ let start t pid name body =
 let spawn t ?name body =
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
+  let cap = Array.length t.parked in
+  if pid >= cap then begin
+    let nparked = Array.make (max (pid + 1) (2 * cap)) None in
+    Array.blit t.parked 0 nparked 0 cap;
+    t.parked <- nparked
+  end;
   let name = match name with Some n -> n | None -> Printf.sprintf "proc-%d" pid in
   t.live <- t.live + 1;
   at t t.clock (fun () -> start t pid name body);
@@ -93,8 +122,12 @@ let run t =
         thunk ();
         loop ()
     | None ->
-        if Hashtbl.length t.parked > 0 then begin
-          let names = Hashtbl.fold (fun _ name acc -> name :: acc) t.parked [] in
+        if t.parked_count > 0 then begin
+          let names =
+            Array.fold_left
+              (fun acc name -> match name with Some n -> n :: acc | None -> acc)
+              [] t.parked
+          in
           raise (Stalled (String.concat ", " (List.sort compare names)))
         end
   in

@@ -1,5 +1,10 @@
-(* Array-backed binary min-heap ordered by (time, seq). The sequence
-   number makes event order total and deterministic. *)
+(* Array-backed implicit 4-ary min-heap ordered by (time, seq). The
+   sequence number makes event order total and deterministic.
+
+   4-ary rather than binary: the tree is half as deep, so a sift touches
+   fewer (likely cache-missing) levels, and the four children of node i
+   sit in adjacent slots 4i+1..4i+4 — one cache line in the common case.
+   Sifts move a hole instead of swapping, halving array writes. *)
 
 type 'a entry = { time : float; seq : int; payload : 'a }
 
@@ -13,29 +18,39 @@ let create () = { heap = [||]; size = 0; next_seq = 0 }
 
 let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+(* Place [entry] by walking the hole at [i] toward the root. *)
+let rec sift_up heap i entry =
+  if i = 0 then heap.(0) <- entry
+  else begin
+    let parent = (i - 1) lsr 2 in
+    let p = heap.(parent) in
+    if lt entry p then begin
+      heap.(i) <- p;
+      sift_up heap parent entry
     end
+    else heap.(i) <- entry
   end
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+(* Place [entry] by walking the hole at [i] toward the leaves. *)
+let sift_down heap size i entry =
+  let rec go i =
+    let c = (i lsl 2) + 1 in
+    if c >= size then heap.(i) <- entry
+    else begin
+      let last = min (c + 3) (size - 1) in
+      let m = ref c in
+      for j = c + 1 to last do
+        if lt heap.(j) heap.(!m) then m := j
+      done;
+      let best = heap.(!m) in
+      if lt best entry then begin
+        heap.(i) <- best;
+        go !m
+      end
+      else heap.(i) <- entry
+    end
+  in
+  go i
 
 let grow t entry =
   let cap = Array.length t.heap in
@@ -50,19 +65,15 @@ let push t ~time payload =
   let entry = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
   grow t entry;
-  t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t.heap (t.size - 1) entry
 
 let pop t =
   if t.size = 0 then None
   else begin
     let top = t.heap.(0) in
     t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0
-    end;
+    if t.size > 0 then sift_down t.heap t.size 0 t.heap.(t.size);
     Some (top.time, top.payload)
   end
 

@@ -3,6 +3,8 @@ let () =
     [ ("prng", Test_prng.suite);
       ("stats", Test_stats.suite);
       ("sim", Test_sim.suite);
+      ("pqueue", Test_pqueue.suite);
+      ("parallel", Test_parallel.suite);
       ("vm", Test_vm.suite);
       ("cache", Test_cache.suite);
       ("machine", Test_machine.suite);

@@ -1,0 +1,104 @@
+(* Property tests for the event heap (now 4-ary): pop order must be
+   exactly (time, seq) — earliest time first, FIFO among equal times —
+   and interleaved push/pop must track a sorted-list reference model.
+   The payloads are insertion indices so the checks see the seq order. *)
+
+module Pq = Mb_sim.Pqueue
+
+(* Coarse times (multiples of 1.0 from a small range) force plenty of
+   ties, which is where the seq tie-break earns its keep. *)
+let coarse_times = QCheck.(list_of_size Gen.(int_range 0 300) (map float_of_int (int_bound 20)))
+
+let drain q =
+  let rec go acc =
+    match Pq.pop q with Some (time, v) -> go ((time, v) :: acc) | None -> List.rev acc
+  in
+  go []
+
+let prop_pop_is_time_seq_sorted =
+  QCheck.Test.make ~name:"pop order is sorted by (time, seq)" ~count:500 coarse_times
+    (fun times ->
+      let q = Pq.create () in
+      List.iteri (fun i time -> Pq.push q ~time i) times;
+      let popped = drain q in
+      (* Reference: stable sort by time keeps insertion order among ties,
+         which is exactly the (time, seq) total order. *)
+      let expected =
+        List.stable_sort
+          (fun (t1, _) (t2, _) -> compare t1 t2)
+          (List.mapi (fun i time -> (time, i)) times)
+      in
+      popped = expected)
+
+(* The reference model for the fuzz: a list kept sorted by (time, seq),
+   with a running seq counter mirroring the queue's. *)
+module Model = struct
+  type t = { mutable entries : (float * int * int) list; mutable next_seq : int }
+
+  let create () = { entries = []; next_seq = 0 }
+
+  let push m time payload =
+    let seq = m.next_seq in
+    m.next_seq <- seq + 1;
+    let rec insert = function
+      | [] -> [ (time, seq, payload) ]
+      | ((t, s, _) as hd) :: tl ->
+          if time < t || (time = t && seq < s) then (time, seq, payload) :: hd :: tl
+          else hd :: insert tl
+    in
+    m.entries <- insert m.entries
+
+  let pop m =
+    match m.entries with
+    | [] -> None
+    | (t, _, payload) :: tl ->
+        m.entries <- tl;
+        Some (t, payload)
+end
+
+let ops_gen =
+  (* true -> push at the given time; false -> pop (time ignored) *)
+  QCheck.(list_of_size Gen.(int_range 0 400) (pair bool (map float_of_int (int_bound 10))))
+
+let prop_fuzz_vs_model =
+  QCheck.Test.make ~name:"push/pop fuzz matches sorted-list model" ~count:300 ops_gen
+    (fun ops ->
+      let q = Pq.create () in
+      let m = Model.create () in
+      let payload = ref 0 in
+      List.for_all
+        (fun (is_push, time) ->
+          if is_push then begin
+            Pq.push q ~time !payload;
+            Model.push m time !payload;
+            incr payload;
+            Pq.length q = List.length m.Model.entries
+          end
+          else begin
+            let got = Pq.pop q and want = Model.pop m in
+            got = want && Pq.peek_time q = (match m.Model.entries with
+                                            | [] -> None
+                                            | (t, _, _) :: _ -> Some t)
+          end)
+        ops)
+
+let test_peek_matches_pop () =
+  let q = Pq.create () in
+  List.iter (fun t -> Pq.push q ~time:t ()) [ 5.; 1.; 3.; 1.; 9. ];
+  let rec go () =
+    match Pq.peek_time q with
+    | None -> Alcotest.(check bool) "drained" true (Pq.is_empty q)
+    | Some t -> (
+        match Pq.pop q with
+        | Some (t', ()) ->
+            Alcotest.(check (float 0.)) "peek equals pop time" t t';
+            go ()
+        | None -> Alcotest.fail "peek said non-empty but pop returned None")
+  in
+  go ()
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_pop_is_time_seq_sorted;
+    QCheck_alcotest.to_alcotest prop_fuzz_vs_model;
+    Alcotest.test_case "peek/pop agree" `Quick test_peek_matches_pop;
+  ]
