@@ -113,6 +113,39 @@ let run_bechamel () =
           None)
     rows
 
+(* --- phase 3: observed counters per kernel ------------------------------ *)
+
+(* One extra (untimed) run of each kernel with metrics on, so the JSON
+   records what the kernel *does* alongside what it costs: a drift in
+   lock traffic or arena churn shows up in review even when the ns/run
+   happens to stay flat. Runs after bechamel so observation can never
+   touch the timed path. *)
+
+let headline_counters =
+  [ "alloc.mallocs";
+    "alloc.lock.acquired";
+    "alloc.lock.contended";
+    "alloc.arena.created";
+    "alloc.free.foreign";
+    "cache.invalidations";
+    "sched.ctx_switches";
+    "vm.sbrk_calls";
+    "vm.mmap_calls"
+  ]
+
+let observe_kernels () =
+  Core.Obs.Ctl.set { Core.Obs.Ctl.trace = false; metrics = true };
+  let observed =
+    List.map
+      (fun (name, kernel) ->
+        kernel ();
+        let totals = Core.Obs.Recorder.totals (Core.Obs.Collect.drain ()) in
+        (name, List.filter (fun (k, _) -> List.mem k headline_counters) totals))
+      Kernels.all
+  in
+  Core.Obs.Ctl.set Core.Obs.Ctl.off;
+  observed
+
 (* --- BENCH_kernels.json ------------------------------------------------- *)
 
 let json_escape s =
@@ -134,7 +167,7 @@ let kernel_key name =
   | Some i -> String.sub name (i + 1) (String.length name - i - 1)
   | None -> name
 
-let write_json path ~jobs ~experiments_wall_s ~bechamel_wall_s ~total_wall_s kernels =
+let write_json path ~jobs ~experiments_wall_s ~bechamel_wall_s ~total_wall_s ~counters kernels =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"schema\": 1,\n";
@@ -149,7 +182,18 @@ let write_json path ~jobs ~experiments_wall_s ~bechamel_wall_s ~total_wall_s ker
       Printf.fprintf oc "%s\n    \"%s\": %.1f" (if i = 0 then "" else ",")
         (json_escape (kernel_key name)) ns)
     kernels;
-  Printf.fprintf oc "%s}\n}\n" (if kernels = [] then "" else "\n  ");
+  Printf.fprintf oc "%s},\n" (if kernels = [] then "" else "\n  ");
+  Printf.fprintf oc "  \"kernel_counters\": {";
+  List.iteri
+    (fun i (name, cs) ->
+      Printf.fprintf oc "%s\n    \"%s\": {" (if i = 0 then "" else ",") (json_escape name);
+      List.iteri
+        (fun j (k, v) ->
+          Printf.fprintf oc "%s\"%s\": %d" (if j = 0 then "" else ", ") (json_escape k) v)
+        cs;
+      Printf.fprintf oc "}")
+    counters;
+  Printf.fprintf oc "%s}\n}\n" (if counters = [] then "" else "\n  ");
   close_out oc
 
 (* --- main ---------------------------------------------------------------- *)
@@ -174,13 +218,14 @@ let () =
     if Sys.getenv_opt "MALLOC_REPRO_NO_BECHAMEL" = None then run_bechamel () else []
   in
   let t2 = Unix.gettimeofday () in
+  let counters = observe_kernels () in
   let json_path =
     match Sys.getenv_opt "MALLOC_REPRO_BENCH_JSON" with
     | Some p -> p
     | None -> "BENCH_kernels.json"
   in
   write_json json_path ~jobs ~experiments_wall_s:(t1 -. t0) ~bechamel_wall_s:(t2 -. t1)
-    ~total_wall_s:(t2 -. t0) kernels;
+    ~total_wall_s:(t2 -. t0) ~counters kernels;
   Printf.printf "wall clock: experiments %.1fs, bechamel %.1fs -> %s\n" (t1 -. t0) (t2 -. t1)
     json_path;
   if failed <> [] then exit 1

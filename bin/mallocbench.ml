@@ -49,10 +49,48 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 let threads_arg default =
   Arg.(value & opt int default & info [ "t"; "threads" ] ~doc:"Worker thread count.")
 
+(* --- observation -------------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(value
+       & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON timeline of the simulated runs to $(docv) \
+                 (open in chrome://tracing or ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the observed-counters table (lock acquisitions and contention, \
+                 cache-coherence traffic, arena churn, VM syscalls) after the runs.")
+
+(* Turn observation on for the duration of [f], then drain the collected
+   recorders into the requested sinks. With neither flag, [f] runs on the
+   disabled path untouched. *)
+let with_observation ~trace ~metrics f =
+  if trace = None && not metrics then f ()
+  else begin
+    Core.Obs.Ctl.set { Core.Obs.Ctl.trace = trace <> None; metrics };
+    let finish () =
+      Core.Obs.Ctl.set Core.Obs.Ctl.off;
+      let runs = Core.Obs.Collect.drain () in
+      (match trace with
+      | Some path ->
+          Core.Obs.Trace_json.write_file path runs;
+          Printf.printf "trace: %d events from %d runs -> %s\n"
+            (Core.Obs.Trace_json.event_total runs)
+            (List.length runs) path
+      | None -> ());
+      if metrics then Core.Metrics.print runs
+    in
+    Fun.protect ~finally:finish f
+  end
+
 (* --- bench1 ----------------------------------------------------------- *)
 
 let bench1_cmd =
-  let run machine factory seed workers iterations size processes =
+  let run machine factory seed workers iterations size processes trace metrics =
+    with_observation ~trace ~metrics @@ fun () ->
     let params =
       { Core.Bench1.default with
         Core.Bench1.machine;
@@ -80,12 +118,14 @@ let bench1_cmd =
   let processes = Arg.(value & flag & info [ "processes" ] ~doc:"One process per worker instead of threads.") in
   Cmd.v
     (Cmd.info "bench1" ~doc:"Multithread scalability: timed malloc/free loops")
-    Term.(const run $ machine_arg $ factory_arg $ seed_arg $ threads_arg 2 $ iterations $ size $ processes)
+    Term.(const run $ machine_arg $ factory_arg $ seed_arg $ threads_arg 2 $ iterations $ size
+          $ processes $ trace_arg $ metrics_arg)
 
 (* --- bench2 ----------------------------------------------------------- *)
 
 let bench2_cmd =
-  let run machine factory seed threads rounds objects replacements size =
+  let run machine factory seed threads rounds objects replacements size trace metrics =
+    with_observation ~trace ~metrics @@ fun () ->
     let params =
       { Core.Bench2.machine;
         factory;
@@ -117,12 +157,13 @@ let bench2_cmd =
   Cmd.v
     (Cmd.info "bench2" ~doc:"Heap leakage: minor faults under cross-thread frees")
     Term.(const run $ machine_arg2 $ factory_arg $ seed_arg $ threads_arg 3 $ rounds $ objects
-          $ replacements $ size)
+          $ replacements $ size $ trace_arg $ metrics_arg)
 
 (* --- bench3 ----------------------------------------------------------- *)
 
 let bench3_cmd =
-  let run machine factory seed threads size writes aligned =
+  let run machine factory seed threads size writes aligned trace metrics =
+    with_observation ~trace ~metrics @@ fun () ->
     let params =
       { Core.Bench3.default with
         Core.Bench3.machine;
@@ -152,12 +193,14 @@ let bench3_cmd =
   in
   Cmd.v
     (Cmd.info "bench3" ~doc:"False cache-line sharing between writer threads")
-    Term.(const run $ machine_arg3 $ factory_arg $ seed_arg $ threads_arg 2 $ size $ writes $ aligned)
+    Term.(const run $ machine_arg3 $ factory_arg $ seed_arg $ threads_arg 2 $ size $ writes
+          $ aligned $ trace_arg $ metrics_arg)
 
 (* --- server ------------------------------------------------------------ *)
 
 let server_cmd =
-  let run machine factory seed threads requests latency =
+  let run machine factory seed threads requests latency trace metrics =
+    with_observation ~trace ~metrics @@ fun () ->
     let params =
       { Core.Server.default with
         Core.Server.machine;
@@ -189,15 +232,18 @@ let server_cmd =
   in
   Cmd.v
     (Cmd.info "server" ~doc:"Network-server workload (iPlanet-style)")
-    Term.(const run $ machine_arg4 $ factory_arg $ seed_arg $ threads_arg 4 $ requests $ latency)
+    Term.(const run $ machine_arg4 $ factory_arg $ seed_arg $ threads_arg 4 $ requests $ latency
+          $ trace_arg $ metrics_arg)
 
 (* --- experiment --------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run ids quick seed csv_dir jobs =
+  let run ids quick seed csv_dir jobs trace metrics =
     let opts = { Core.Exp_common.quick; seed } in
     let only = match ids with [] -> None | ids -> Some ids in
-    let outcomes = Core.Experiments.run_all ?jobs ?only opts in
+    let outcomes =
+      with_observation ~trace ~metrics (fun () -> Core.Experiments.run_all ?jobs ?only opts)
+    in
     (match csv_dir with
     | None -> ()
     | Some dir ->
@@ -236,7 +282,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
-    Term.(const run $ ids $ quick $ seed_arg $ csv_dir $ jobs)
+    Term.(const run $ ids $ quick $ seed_arg $ csv_dir $ jobs $ trace_arg $ metrics_arg)
 
 (* --- list ---------------------------------------------------------------- *)
 

@@ -42,6 +42,21 @@ let record_free t size =
 
 let live_bytes t = t.live_bytes
 
+let publish t obs =
+  let module Obs = Mb_obs.Recorder in
+  if Obs.metering obs then begin
+    Obs.add obs "alloc.mallocs" t.mallocs;
+    Obs.add obs "alloc.frees" t.frees;
+    Obs.add obs "alloc.bytes_requested" t.bytes_requested;
+    Obs.add obs "alloc.peak_live_bytes" t.peak_live_bytes;
+    Obs.add obs "alloc.arena.created" t.arenas_created;
+    Obs.add obs "alloc.arena.switches" t.arena_switches;
+    Obs.add obs "alloc.contended_ops" t.contended_ops;
+    Obs.add obs "alloc.free.foreign" t.foreign_frees;
+    Obs.add obs "alloc.mmapped_chunks" t.mmapped_chunks;
+    Obs.add obs "alloc.grow_failures" t.grow_failures
+  end
+
 let pp fmt t =
   Format.fprintf fmt
     "mallocs=%d frees=%d live=%dB peak=%dB arenas=%d switches=%d contended=%d foreign_frees=%d \

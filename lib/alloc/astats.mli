@@ -20,6 +20,7 @@ type t = {
 }
 
 val create : unit -> t
+(** A zeroed counter set. *)
 
 val record_malloc : t -> int -> unit
 (** [record_malloc t size] accounts one successful allocation. *)
@@ -28,5 +29,13 @@ val record_free : t -> int -> unit
 (** [record_free t size] accounts one release of [size] requested bytes. *)
 
 val live_bytes : t -> int
+(** Requested bytes currently allocated. *)
+
+val publish : t -> Mb_obs.Recorder.t -> unit
+(** [publish t obs] adds the counters to [obs] under [alloc.*] keys
+    (e.g. [alloc.arena.created], [alloc.free.foreign]). Addition, not
+    assignment, so several allocators publishing into one recorder
+    accumulate. No-op on a recorder without metrics enabled. *)
 
 val pp : Format.formatter -> t -> unit
+(** One-line human-readable rendering of all counters. *)

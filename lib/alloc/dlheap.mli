@@ -15,6 +15,8 @@
     on the calling thread and fault pages on first touch. *)
 
 type t
+(** One heap arena: its chunk segment, bins, top chunk, and direct
+    mmap list. *)
 
 type params = {
   mmap_threshold : int;     (** requests >= this go to direct mmap (bytes) *)
@@ -44,6 +46,7 @@ val header_bytes : int
 (** Per-chunk bookkeeping overhead (8, as in dlmalloc). *)
 
 val min_chunk_bytes : int
+(** Smallest chunk the heap will carve (16 bytes, header included). *)
 
 val create_main : Mb_machine.Machine.proc -> costs:Costs.t -> params:params -> stats:Astats.t -> t
 (** The process's primary heap, growing at the break. Lazy: the first
@@ -77,6 +80,7 @@ val usable_size : t -> int -> int
 (** {1 Introspection (tests, reports)} *)
 
 val is_sub : t -> bool
+(** True for sub-heaps ({!create_sub}), false for the main heap. *)
 
 val segment_bounds : t -> int * int
 (** Current [base, end) of the contiguous chunk segment. *)
@@ -88,6 +92,7 @@ val free_bytes : t -> int
 (** Bytes in binned free chunks (excluding top). *)
 
 val live_chunks : t -> int
+(** Number of currently allocated chunks (direct-mmapped included). *)
 
 val used_bytes : t -> int
 (** Bytes held by allocated chunks (headers included), excluding
@@ -97,12 +102,14 @@ val mmapped_bytes : t -> int
 (** Bytes in live direct-mmapped chunks. *)
 
 val mmapped_count : t -> int
+(** Number of live direct-mmapped chunks. *)
 
 val set_params : t -> params -> unit
 (** Replace the tunables (the [mallopt] path); affects subsequent
     operations only. *)
 
 val params : t -> params
+(** The tunables currently in force. *)
 
 val validate : t -> (unit, string) result
 (** Full structural check: the segment tiles exactly into chunks,

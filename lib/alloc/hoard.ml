@@ -53,7 +53,7 @@ let make proc ?(costs = Costs.glibc) ?heap_count ?(superblock_bytes = 8192) ?(em
   let heap_count = match heap_count with Some n -> n | None -> max 1 cpus in
   let mk_heap index =
     { index;
-      lock = M.Mutex.create machine ~name:(Printf.sprintf "hoard-heap-%d" index) ();
+      lock = M.Mutex.create machine ~name:(Printf.sprintf "hoard-heap-%d" index) ~heap:true ();
       blocks = Array.make nclasses [];
       used = 0;
       held = 0;

@@ -21,6 +21,8 @@
       heap, bounding blowup to a constant factor of live data. *)
 
 type t
+(** One Hoard instance: per-thread heaps, the global heap, and their
+    superblocks. *)
 
 val make :
   Mb_machine.Machine.proc ->
@@ -35,6 +37,7 @@ val make :
     empty fraction 1/4, slack 4 — the tech report's parameters. *)
 
 val allocator : t -> Allocator.t
+(** The uniform allocator record over this instance. *)
 
 val superblock_count : t -> int
 (** Superblocks currently mapped (all heaps). *)

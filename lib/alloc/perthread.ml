@@ -26,7 +26,7 @@ let make proc ?(costs = Costs.glibc) ?(params = Dlheap.default_params) ?(batch =
   let global = Dlheap.create_main proc ~costs ~params ~stats:heap_stats in
   stats.Astats.arenas_created <- 1;
   { global;
-    gmutex = M.Mutex.create (M.proc_machine proc) ~name:"perthread-global" ();
+    gmutex = M.Mutex.create (M.proc_machine proc) ~name:"perthread-global" ~heap:true ();
     stats;
     heap_stats;
     caches = Hashtbl.create 16;

@@ -11,6 +11,7 @@
     bounded. Large requests go straight to the shared heap. *)
 
 type t
+(** One per-thread-cache allocator instance. *)
 
 val make :
   Mb_machine.Machine.proc ->
@@ -20,8 +21,12 @@ val make :
   ?cache_limit:int ->
   unit ->
   t
+(** [batch] (default 16) objects move per refill/flush; [cache_limit]
+    (default 64) bounds each per-class cache. Costs default to
+    {!Costs.glibc}. *)
 
 val allocator : t -> Allocator.t
+(** The uniform allocator record over this instance. *)
 
 val cached_objects : t -> int
 (** Objects currently parked in all thread caches. *)

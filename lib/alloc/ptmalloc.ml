@@ -40,7 +40,7 @@ let make proc ?(costs = Costs.glibc) ?(params = Dlheap.default_params) ?max_aren
   let machine = M.proc_machine proc in
   let main =
     { heap = main_heap;
-      mutex = M.Mutex.create machine ~name:"arena-0" ();
+      mutex = M.Mutex.create machine ~name:"arena-0" ~heap:true ();
       descriptor = main_descriptor;
       aindex = 0;
     }
@@ -124,12 +124,19 @@ let create_arena t ctx =
       | Some heap ->
           let arena =
             { heap;
-              mutex = M.Mutex.create (M.proc_machine t.proc) ~name:(Printf.sprintf "arena-%d" aindex) ();
+              mutex =
+                M.Mutex.create (M.proc_machine t.proc)
+                  ~name:(Printf.sprintf "arena-%d" aindex) ~heap:true ();
               descriptor = t.meta_base + t.meta_phase + (descriptor_stride * (aindex - 1));
               aindex;
             }
           in
           push_arena t arena;
+          let obs = M.ctx_obs ctx in
+          if Mb_obs.Recorder.tracing obs then
+            Mb_obs.Recorder.instant obs ~lane:(M.lane ctx)
+              ~name:(Printf.sprintf "arena-create %d" aindex)
+              ~ts_ns:(M.now ctx) ();
           Some arena)
 
 (* The heart of ptmalloc: find an arena we can lock without waiting.

@@ -17,6 +17,7 @@
     descriptor lives alone in libc data. *)
 
 type t
+(** One ptmalloc instance: its arena list and per-thread affinity map. *)
 
 val make :
   Mb_machine.Machine.proc ->
@@ -29,6 +30,7 @@ val make :
     default. Costs default to {!Costs.glibc}. *)
 
 val allocator : t -> Allocator.t
+(** The uniform allocator record over this instance. *)
 
 val arena_count : t -> int
 (** Arenas currently in the list (never shrinks, matching the paper). *)
@@ -42,6 +44,7 @@ val arena_live_chunks : t -> int list
     benchmark 2's cross-arena imbalance observable. *)
 
 val arena_free_bytes : t -> int list
+(** Binned free bytes of each arena, in creation order. *)
 
 val heap_bytes : t -> int
 (** Total bytes of address space held by all arenas (brk extent plus

@@ -12,7 +12,7 @@ let make proc ?(costs = Costs.solaris) ?(params = Dlheap.default_params) () =
   let heap = Dlheap.create_main proc ~costs ~params ~stats in
   stats.Astats.arenas_created <- 1;
   { heap;
-    mutex = M.Mutex.create (M.proc_machine proc) ~name:"malloc-lock" ();
+    mutex = M.Mutex.create (M.proc_machine proc) ~name:"malloc-lock" ~heap:true ();
     descriptor = M.libc_data_address + 0x100;
     stats;
   }

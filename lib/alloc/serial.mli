@@ -9,15 +9,20 @@
     [ablate-spin] bench isolates exactly that difference. *)
 
 type t
+(** One serial-allocator instance: a heap, its mutex, and statistics. *)
 
 val make : Mb_machine.Machine.proc -> ?costs:Costs.t -> ?params:Dlheap.params -> unit -> t
 (** Costs default to {!Costs.solaris} (the paper's fastest
     single-threaded allocator). *)
 
 val allocator : t -> Allocator.t
+(** The uniform allocator record over this instance. *)
 
 val lock_contentions : t -> int
+(** Acquisitions of the single lock that found it held. *)
 
 val lock_acquisitions : t -> int
+(** Total acquisitions of the single lock (two per malloc/free pair). *)
 
 val heap : t -> Dlheap.t
+(** The underlying heap, for tests and introspection. *)

@@ -51,7 +51,9 @@ let cache_for t cls =
   | None ->
       let c =
         { obj_size = cls;
-          lock = M.Mutex.create (M.proc_machine t.proc) ~name:(Printf.sprintf "kmem-%d" cls) ();
+          lock =
+            M.Mutex.create (M.proc_machine t.proc)
+              ~name:(Printf.sprintf "kmem-%d" cls) ~heap:true ();
           partial = [];
           full = [];
           nslabs = 0;

@@ -10,10 +10,14 @@
     spread across cache locks. *)
 
 type t
+(** One slab allocator instance: its size-class caches and slabs. *)
 
 val make : Mb_machine.Machine.proc -> ?costs:Costs.t -> ?slab_pages:int -> unit -> t
+(** [slab_pages] (default 1) pages per slab. Costs default to
+    {!Costs.glibc}. *)
 
 val allocator : t -> Allocator.t
+(** The uniform allocator record over this instance. *)
 
 val cache_count : t -> int
 (** Distinct size-class caches instantiated so far. *)

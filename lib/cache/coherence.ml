@@ -123,3 +123,5 @@ let misses t = t.misses
 let transfers t = t.transfers
 
 let upgrades t = t.upgrades
+
+let invalidations t = t.transfers + t.upgrades

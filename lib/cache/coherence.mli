@@ -59,8 +59,19 @@ val flush_line : t -> int -> unit
 (** {1 Statistics} *)
 
 val hits : t -> int
+(** Accesses served by a line already held in the right state. *)
+
 val misses : t -> int
+(** Fills from memory (cold or not-present lines). *)
+
 val transfers : t -> int
 (** Number of dirty cache-to-cache transfers (each is one "ping-pong"). *)
 
 val upgrades : t -> int
+(** Writes to shared lines that had to invalidate other CPUs' copies. *)
+
+val invalidations : t -> int
+(** Total cache-line invalidations suffered by remote CPUs:
+    [transfers + upgrades]. This is the coherence-traffic figure the
+    observability layer reports per run — benchmark 3's ping-pong and
+    Table 4's allocator-descriptor sloshing both show up here. *)

@@ -45,6 +45,10 @@ module Latency = Mb_workload.Latency
 module Trace = Mb_workload.Trace
 module Larson = Mb_workload.Larson
 
+(* Observability. *)
+module Obs = Mb_obs
+module Metrics = Mb_report.Metrics
+
 (* Support. *)
 module Pool = Mb_parallel.Pool
 module Rng = Mb_prng.Rng

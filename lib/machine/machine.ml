@@ -2,6 +2,7 @@ module Engine = Mb_sim.Engine
 module Coherence = Mb_cache.Coherence
 module As = Mb_vm.Address_space
 module Rng = Mb_prng.Rng
+module Obs = Mb_obs.Recorder
 
 type config = {
   cpus : int;
@@ -58,6 +59,13 @@ type t = {
   mutable busy : float;
   mutable bkl : mutex option;  (* the 2.2-era big kernel lock guarding VM
                                   syscalls (paper section 3); lazy *)
+  obs : Obs.t;
+  mutable mutexes : mutex list;  (* every mutex ever created on this
+                                    machine, so the end-of-run metrics
+                                    flush can report per-lock counts *)
+  mutable sbrk_calls : int;
+  mutable mmap_calls : int;
+  mutable munmap_calls : int;
 }
 
 and cpu = { cpu_id : int; mutable current : thread option }
@@ -65,6 +73,8 @@ and cpu = { cpu_id : int; mutable current : thread option }
 and mutex = {
   mname : string;
   mm : t;
+  heap_lock : bool;  (* allocator heap lock, for the aggregated
+                        contended-vs-uncontended metrics split *)
   mutable owner : thread option;
   waiters : thread Queue.t;
   mutable contentions : int;
@@ -101,6 +111,8 @@ and thread = {
   mutable stack_addr : int;
   mutable hooks : (unit -> unit) list;
   joiners : thread Queue.t;
+  mutable lane : int;  (* engine pid: this thread's trace lane *)
+  mutable run_start_ns : float;  (* dispatch time of the current CPU tenure *)
 }
 
 type ctx = thread
@@ -115,12 +127,13 @@ type thread_stats = {
 
 let thread_stack_bytes = 16 * 1024
 
-let create ?(seed = 42) (config : config) =
+let create ?(seed = 42) ?obs (config : config) =
   if config.cpus <= 0 then invalid_arg "Machine.create: cpus <= 0";
   if config.mhz <= 0. then invalid_arg "Machine.create: mhz <= 0";
   let cycle_ns = 1000. /. config.mhz in
+  let obs = match obs with Some r -> r | None -> Mb_obs.Ctl.recorder () in
   { config;
-    engine = Engine.create ();
+    engine = Engine.create ~obs ();
     cache = Coherence.create config.cache ~cpus:config.cpus;
     root_rng = Rng.create ~seed;
     cycle_ns;
@@ -132,6 +145,11 @@ let create ?(seed = 42) (config : config) =
     ctx_switches = 0;
     busy = 0.;
     bkl = None;
+    obs;
+    mutexes = [];
+    sbrk_calls = 0;
+    mmap_calls = 0;
+    munmap_calls = 0;
   }
 
 let config t = t.config
@@ -142,9 +160,50 @@ let cache t = t.cache
 
 let rng t = t.root_rng
 
+let observer t = t.obs
+
 let cycles_to_ns t c = c *. t.cycle_ns
 
-let run t = Engine.run t.engine
+(* Snapshot machine-wide counters into the recorder once the run is
+   over: cache-coherence traffic, scheduling, VM syscalls, and one
+   acquired/contended pair per mutex name. All are [set]/summed from
+   counters the simulation maintains anyway, so observation adds no
+   hot-path cost beyond the disabled-recorder branches. *)
+let flush_observations t =
+  if Obs.metering t.obs then begin
+    Obs.set t.obs "cache.hits" (Coherence.hits t.cache);
+    Obs.set t.obs "cache.misses" (Coherence.misses t.cache);
+    Obs.set t.obs "cache.line_transfers" (Coherence.transfers t.cache);
+    Obs.set t.obs "cache.upgrades" (Coherence.upgrades t.cache);
+    Obs.set t.obs "cache.invalidations" (Coherence.invalidations t.cache);
+    Obs.set t.obs "sched.ctx_switches" t.ctx_switches;
+    Obs.set t.obs "vm.sbrk_calls" t.sbrk_calls;
+    Obs.set t.obs "vm.mmap_calls" t.mmap_calls;
+    Obs.set t.obs "vm.munmap_calls" t.munmap_calls;
+    (* Mutex names repeat across processes (each process-private ptmalloc
+       has its own "arena-0"), so sum per name before writing. *)
+    let acc = Hashtbl.create 16 in
+    let bump key n =
+      Hashtbl.replace acc key (n + (match Hashtbl.find_opt acc key with Some v -> v | None -> 0))
+    in
+    List.iter
+      (fun mu ->
+        if mu.acquisitions > 0 || mu.contentions > 0 then begin
+          bump ("lock." ^ mu.mname ^ ".acquired") mu.acquisitions;
+          bump ("lock." ^ mu.mname ^ ".contended") mu.contentions;
+          if mu.heap_lock then begin
+            bump "alloc.lock.acquired" mu.acquisitions;
+            bump "alloc.lock.contended" mu.contentions;
+            bump "alloc.lock.uncontended" (max 0 (mu.acquisitions - mu.contentions))
+          end
+        end)
+      t.mutexes;
+    Hashtbl.iter (fun key v -> Obs.set t.obs key v) acc
+  end
+
+let run t =
+  Engine.run t.engine;
+  flush_observations t
 
 let now_ns t = Engine.now t.engine
 
@@ -181,6 +240,7 @@ let dispatch m cpu =
           | None -> invalid_arg "Machine: dispatching a thread that never parked"
         in
         th.resume <- None;
+        th.run_start_ns <- Engine.now m.engine;
         Engine.at m.engine (Engine.now m.engine +. cycles_to_ns m switch) resume
       end
 
@@ -197,6 +257,13 @@ let release_cpu m th =
   (match cpu.current with
   | Some cur when cur == th -> cpu.current <- None
   | Some _ | None -> invalid_arg "Machine: thread releasing a CPU it does not hold");
+  if Obs.tracing m.obs then begin
+    let now = Engine.now m.engine in
+    Obs.span m.obs ~lane:th.lane ~name:"run" ~ts_ns:th.run_start_ns
+      ~dur_ns:(now -. th.run_start_ns)
+      ~args:[ ("cpu", string_of_int cpu.cpu_id) ]
+      ()
+  end;
   dispatch m cpu
 
 let make_ready m th =
@@ -239,6 +306,7 @@ let acquire_cpu_initial m th =
       cpu.current <- Some th;
       th.state <- Running;
       th.on_cpu <- cpu.cpu_id;
+      th.run_start_ns <- Engine.now m.engine;
       th.quantum_left <- m.quantum_cycles *. (0.5 +. (0.5 *. Rng.float m.root_rng 1.0));
       th.switches <- th.switches + 1;
       m.ctx_switches <- m.ctx_switches + 1;
@@ -255,8 +323,19 @@ let work_exact_cycles th cycles = if cycles > 0 then consume th (float_of_int cy
 
 (* --- mutex mechanics (shared by Mutex and the kernel lock) ---------- *)
 
-let mutex_make mm mname =
-  { mname; mm; owner = None; waiters = Queue.create (); contentions = 0; acquisitions = 0 }
+let mutex_make ?(heap = false) mm mname =
+  let mu =
+    { mname;
+      mm;
+      heap_lock = heap;
+      owner = None;
+      waiters = Queue.create ();
+      contentions = 0;
+      acquisitions = 0;
+    }
+  in
+  mm.mutexes <- mu :: mm.mutexes;
+  mu
 
 let lock_op_cost th =
   let cfg = th.tproc.pm.config in
@@ -300,6 +379,9 @@ let rec mutex_lock_slow mu th =
   | Some _ ->
       th.blocks <- th.blocks + 1;
       th.state <- Blocked;
+      if Obs.tracing m.obs then
+        Obs.instant m.obs ~lane:th.lane ~name:("block " ^ mu.mname)
+          ~ts_ns:(Engine.now m.engine) ();
       Queue.push th mu.waiters;
       release_cpu m th;
       park_for_cpu th;
@@ -446,11 +528,13 @@ let spawn p ?name body =
       stack_addr = -1;
       hooks = [];
       joiners = Queue.create ();
+      lane = 0;
+      run_start_ns = 0.;
     }
   in
   p.live_threads <- p.live_threads + 1;
   if p.live_threads >= 2 then p.ever_multi <- true;
-  ignore
+  th.lane <-
     (Engine.spawn m.engine ~name:tname (fun () ->
          acquire_cpu_initial m th;
          (* pthread_create: kernel work plus a freshly mapped stack whose
@@ -496,6 +580,10 @@ let proc th = th.tproc
 let machine th = th.tproc.pm
 
 let ctx_rng th = th.trng
+
+let ctx_obs th = th.tproc.pm.obs
+
+let lane th = th.lane
 
 (* --- memory ------------------------------------------------------------ *)
 
@@ -543,11 +631,17 @@ let with_vm_syscall th f =
     f ()
   end
 
-let sbrk th delta = with_vm_syscall th (fun () -> As.sbrk th.tproc.pvm delta)
+let sbrk th delta =
+  th.tproc.pm.sbrk_calls <- th.tproc.pm.sbrk_calls + 1;
+  with_vm_syscall th (fun () -> As.sbrk th.tproc.pvm delta)
 
-let mmap th ~len = with_vm_syscall th (fun () -> As.mmap th.tproc.pvm ~len)
+let mmap th ~len =
+  th.tproc.pm.mmap_calls <- th.tproc.pm.mmap_calls + 1;
+  with_vm_syscall th (fun () -> As.mmap th.tproc.pvm ~len)
 
-let munmap th addr ~len = with_vm_syscall th (fun () -> As.munmap th.tproc.pvm addr ~len)
+let munmap th addr ~len =
+  th.tproc.pm.munmap_calls <- th.tproc.pm.munmap_calls + 1;
+  with_vm_syscall th (fun () -> As.munmap th.tproc.pvm addr ~len)
 
 (* --- latches ------------------------------------------------------------ *)
 
@@ -581,9 +675,9 @@ end
 module Mutex = struct
   type t = mutex
 
-  let create mm ?name () =
+  let create mm ?name ?(heap = false) () =
     let mname = match name with Some n -> n | None -> "mutex" in
-    mutex_make mm mname
+    mutex_make ~heap mm mname
 
   let try_lock = mutex_try_lock
 

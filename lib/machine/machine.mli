@@ -8,7 +8,15 @@
 
     Thread bodies receive a {!ctx} capability; every operation on it
     consumes simulated time on the thread's current CPU. All
-    nondeterminism comes from the machine's seed. *)
+    nondeterminism comes from the machine's seed.
+
+    Each machine owns one {!Mb_obs.Recorder.t}. When observation is on,
+    the machine traces CPU tenures ("run" spans, one lane per thread)
+    and mutex blocks, and flushes machine-wide counters (per-lock
+    acquired/contended pairs, cache-coherence traffic, VM-syscall and
+    context-switch counts) into the recorder when {!run} returns.
+    Recording consumes no simulated time, so observed and unobserved
+    runs produce identical results. *)
 
 type t
 
@@ -43,8 +51,11 @@ val default_config : config
 (** A generic 2-CPU machine; presets for the paper's hosts live in
     {!Configs}. *)
 
-val create : ?seed:int -> config -> t
-(** Fresh machine. Equal seeds and programs give identical runs. *)
+val create : ?seed:int -> ?obs:Mb_obs.Recorder.t -> config -> t
+(** Fresh machine. Equal seeds and programs give identical runs.
+    [obs] is the machine's observation recorder; it defaults to
+    {!Mb_obs.Ctl.recorder}[ ()], i.e. disabled unless the process-wide
+    observation mode is on. *)
 
 val config : t -> config
 
@@ -54,6 +65,11 @@ val cache : t -> Mb_cache.Coherence.t
 
 val rng : t -> Mb_prng.Rng.t
 (** The machine's root random stream (split it; don't share). *)
+
+val observer : t -> Mb_obs.Recorder.t
+(** This machine's observation recorder ({!Mb_obs.Recorder.null} when
+    the run is unobserved). Workload drivers read it after {!run} to
+    publish the run's counters and trace. *)
 
 val cycles_to_ns : t -> float -> float
 
@@ -147,6 +163,13 @@ val machine : ctx -> t
 val ctx_rng : ctx -> Mb_prng.Rng.t
 (** Per-thread random stream. *)
 
+val ctx_obs : ctx -> Mb_obs.Recorder.t
+(** The owning machine's recorder, for allocator emission sites. *)
+
+val lane : ctx -> int
+(** This thread's trace lane (its engine pid); allocators use it to
+    place their own trace events on the right swim lane. *)
+
 val read_mem : ctx -> int -> unit
 (** Simulate a load: demand-page the address (charging fault cost if it is
     a first touch) and charge the coherence cost of the access. *)
@@ -203,7 +226,12 @@ module Mutex : sig
 
   type t
 
-  val create : machine -> ?name:string -> unit -> t
+  val create : machine -> ?name:string -> ?heap:bool -> unit -> t
+  (** [heap] marks this mutex as an allocator heap lock (default
+      [false]): the end-of-run metrics flush then folds its counts into
+      the aggregated [alloc.lock.acquired] / [alloc.lock.contended] /
+      [alloc.lock.uncontended] counters — the paper's central
+      contended-vs-uncontended split. *)
 
   val lock : t -> ctx -> unit
   (** Charges the lock-op cost ({!field-atomic_cycles} or

@@ -1,0 +1,18 @@
+type mode = { trace : bool; metrics : bool }
+
+let off = { trace = false; metrics = false }
+
+let state = Atomic.make off
+
+let set mode = Atomic.set state mode
+
+let current () = Atomic.get state
+
+let active () =
+  let m = Atomic.get state in
+  m.trace || m.metrics
+
+let recorder () =
+  let m = Atomic.get state in
+  if m.trace || m.metrics then Recorder.create ~trace:m.trace ~metrics:m.metrics ()
+  else Recorder.null

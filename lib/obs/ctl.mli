@@ -1,0 +1,34 @@
+(** Process-wide observation control.
+
+    The CLI (or a test) turns observation on {e before} any machine is
+    built; {!Mb_machine.Machine.create} then asks {!recorder} for a
+    fresh per-machine {!Recorder.t}. With observation off (the
+    default), {!recorder} returns {!Recorder.null} and every run stays
+    on the branch-cheap disabled path.
+
+    The state is one atomic record, set once per process invocation
+    before worker domains spawn, so cross-domain reads are safe. A
+    stale read in a racing domain can only yield a disabled recorder
+    (or an enabled one whose output is simply dropped) — never a
+    perturbed simulation. *)
+
+type mode = {
+  trace : bool;    (** record scheduling/lock events for the trace sink *)
+  metrics : bool;  (** record named counters for the metrics sink *)
+}
+
+val off : mode
+(** Both channels disabled — the process default. *)
+
+val set : mode -> unit
+(** Replace the process-wide observation mode. Call before starting the
+    runs to be observed. *)
+
+val current : unit -> mode
+
+val active : unit -> bool
+(** [true] iff either channel is on. *)
+
+val recorder : unit -> Recorder.t
+(** A recorder for one new machine: {!Recorder.null} when observation
+    is off, otherwise a fresh enabled recorder matching {!current}. *)

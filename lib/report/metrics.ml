@@ -1,0 +1,26 @@
+let counters recorders =
+  List.concat_map
+    (fun (label, r) ->
+      List.map (fun (k, v) -> (label, k, v)) (Mb_obs.Recorder.counters r))
+    recorders
+
+let to_table recorders =
+  let t = Table.make ~title:"Observed counters" ~header:[ "run"; "counter"; "value" ] in
+  List.iter
+    (fun (label, key, v) -> Table.row t [ label; key; string_of_int v ])
+    (counters recorders);
+  (match Mb_obs.Recorder.totals recorders with
+  | [] -> ()
+  | totals ->
+      Table.rowf t "totals over %d runs:" (List.length recorders);
+      List.iter (fun (key, v) -> Table.row t [ "(all)"; key; string_of_int v ]) totals);
+  t
+
+let to_csv recorders =
+  Csv.of_rows
+    ([ "run"; "counter"; "value" ]
+    :: List.map
+         (fun (label, key, v) -> [ label; key; string_of_int v ])
+         (counters recorders))
+
+let print recorders = Table.print (to_table recorders)

@@ -1,3 +1,5 @@
+module Obs = Mb_obs.Recorder
+
 type pid = int
 
 type t = {
@@ -10,6 +12,7 @@ type t = {
      Slot [pid] holds the process name while it is parked. *)
   mutable parked : string option array;
   mutable parked_count : int;
+  obs : Obs.t;  (* trace sink; Obs.null unless the run is observed *)
 }
 
 exception Stalled of string
@@ -17,14 +20,17 @@ exception Stalled of string
 type _ Effect.t += Delay : float -> unit Effect.t
 type _ Effect.t += Park : ((unit -> unit) -> unit) -> unit Effect.t
 
-let create () =
+let create ?(obs = Obs.null) () =
   { clock = 0.;
     queue = Pqueue.create ();
     next_pid = 0;
     live = 0;
     parked = Array.make 16 None;
     parked_count = 0;
+    obs;
   }
+
+let observer t = t.obs
 
 let now t = t.clock
 
@@ -58,7 +64,8 @@ let start t pid name body =
   let open Effect.Deep in
   let finish () =
     t.live <- t.live - 1;
-    clear_parked t pid
+    clear_parked t pid;
+    Obs.instant t.obs ~lane:pid ~name:"exit" ~ts_ns:t.clock ()
   in
   let handler =
     { effc =
@@ -74,12 +81,14 @@ let start t pid name body =
               Some
                 (fun (k : (a, unit) continuation) ->
                   set_parked t pid name;
+                  Obs.instant t.obs ~lane:pid ~name:"park" ~ts_ns:t.clock ();
                   let resumed = ref false in
                   let resume () =
                     if !resumed then
                       invalid_arg (Printf.sprintf "Engine: process %s resumed twice" name);
                     resumed := true;
                     clear_parked t pid;
+                    Obs.instant t.obs ~lane:pid ~name:"unpark" ~ts_ns:t.clock ();
                     at t t.clock (fun () -> continue k ())
                   in
                   register resume)
@@ -111,6 +120,10 @@ let spawn t ?name body =
   end;
   let name = match name with Some n -> n | None -> Printf.sprintf "proc-%d" pid in
   t.live <- t.live + 1;
+  if Obs.tracing t.obs then begin
+    Obs.set_lane t.obs pid name;
+    Obs.instant t.obs ~lane:pid ~name:"spawn" ~ts_ns:t.clock ()
+  end;
   at t t.clock (fun () -> start t pid name body);
   pid
 

@@ -7,7 +7,13 @@
     fire in scheduling order.
 
     Time is in simulated nanoseconds (a [float]); the engine itself attaches
-    no meaning to the unit. *)
+    no meaning to the unit.
+
+    When created with an enabled {!Mb_obs.Recorder.t}, the engine emits
+    structured trace events — process spawn/exit and park/unpark — on one
+    lane per process (the lane id is the {!pid}). Observation never
+    consumes simulated time, so an observed run computes exactly the same
+    schedule as an unobserved one. *)
 
 type t
 (** An engine instance: a clock plus a pending-event queue. *)
@@ -20,7 +26,12 @@ exception Stalled of string
     remain — the simulation's notion of deadlock. The payload lists the
     stuck processes. *)
 
-val create : unit -> t
+val create : ?obs:Mb_obs.Recorder.t -> unit -> t
+(** [create ()] makes an idle engine at time 0. [obs] (default
+    {!Mb_obs.Recorder.null}) receives the engine's trace events. *)
+
+val observer : t -> Mb_obs.Recorder.t
+(** The recorder this engine traces into. *)
 
 val now : t -> float
 (** Current simulated time. *)

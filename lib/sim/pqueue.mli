@@ -4,8 +4,10 @@
     simulation is deterministic regardless of heap internals. *)
 
 type 'a t
+(** A mutable queue of ['a] events, each tagged with a time. *)
 
 val create : unit -> 'a t
+(** An empty queue. *)
 
 val push : 'a t -> time:float -> 'a -> unit
 (** Insert an event at the given simulated time. *)
@@ -17,5 +19,7 @@ val peek_time : 'a t -> float option
 (** Time of the earliest event without removing it. *)
 
 val length : 'a t -> int
+(** Number of events pending. *)
 
 val is_empty : 'a t -> bool
+(** [length t = 0], without the count. *)

@@ -92,6 +92,10 @@ let run params =
   (match alloc.A.validate () with
   | Ok () -> ()
   | Error msg -> failwith (Printf.sprintf "Bench2: heap invariant broken: %s" msg));
+  Obs_hook.publish m [ alloc ]
+    ~label:
+      (Printf.sprintf "bench2 %s t=%d r=%d obj=%d seed=%d" params.factory.Factory.label
+         params.threads params.rounds params.objects_per_thread params.seed);
   let vm = M.proc_vm proc in
   { params;
     minor_faults = As.minor_faults vm;

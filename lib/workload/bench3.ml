@@ -80,6 +80,10 @@ let run params =
   in
   ignore main;
   M.run m;
+  Obs_hook.publish m [ alloc ]
+    ~label:
+      (Printf.sprintf "bench3 %s t=%d sz=%d aligned=%b seed=%d" factory.Factory.label
+         params.threads params.object_size params.aligned params.seed);
   let elapsed_s =
     List.fold_left (fun acc w -> max acc (M.elapsed_ns w /. 1e9)) 0. !workers
   in

@@ -106,6 +106,10 @@ let run params =
   (match alloc.A.validate () with
   | Ok () -> ()
   | Error msg -> failwith (Printf.sprintf "Larson: heap invariant broken: %s" msg));
+  Obs_hook.publish m [ alloc ]
+    ~label:
+      (Printf.sprintf "larson %s t=%d r=%d seed=%d" params.factory.Factory.label params.threads
+         params.rounds params.seed);
   let vm = M.proc_vm proc in
   let elapsed_s = M.elapsed_ns main /. 1e9 in
   let total_ops = params.threads * params.rounds * params.ops_per_round in

@@ -1,0 +1,9 @@
+module M = Mb_machine.Machine
+module A = Mb_alloc.Allocator
+
+let publish ~label m allocators =
+  let obs = M.observer m in
+  if Mb_obs.Recorder.enabled obs then begin
+    List.iter (fun a -> Mb_alloc.Astats.publish a.A.stats obs) allocators;
+    Mb_obs.Collect.publish ~label obs
+  end

@@ -1,0 +1,15 @@
+(** Shared post-run observation hook for the workload drivers.
+
+    Every workload calls {!publish} once after {!Mb_machine.Machine.run}
+    returns: it folds the allocators' {!Mb_alloc.Astats} counters into the
+    machine's recorder and hands the recorder to {!Mb_obs.Collect} under a
+    label describing the run's parameters. A no-op when the machine is
+    unobserved, so workloads stay oblivious to whether anyone is
+    watching. *)
+
+val publish :
+  label:string -> Mb_machine.Machine.t -> Mb_alloc.Allocator.t list -> unit
+(** [publish ~label m allocators] — see above. [label] should encode the
+    workload name and distinguishing parameters; the collector sorts by it
+    when draining, which is what keeps sink output deterministic under the
+    parallel experiment pool. *)

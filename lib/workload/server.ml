@@ -115,6 +115,10 @@ let run params =
   (match alloc.A.validate () with
   | Ok () -> ()
   | Error msg -> failwith (Printf.sprintf "Server: heap invariant broken: %s" msg));
+  Obs_hook.publish m [ raw_alloc ]
+    ~label:
+      (Printf.sprintf "server %s t=%d req=%d conn=%d seed=%d" params.factory.Factory.label
+         params.threads params.requests_per_thread params.connections params.seed);
   let per_thread_s = List.map (fun w -> M.elapsed_ns w /. 1e9) !workers in
   let elapsed_s = List.fold_left max 0. per_thread_s in
   let total_requests = params.threads * params.requests_per_thread in

@@ -12,6 +12,7 @@ let () =
       ("allocators", Test_allocators.suite);
       ("workload", Test_workload.suite);
       ("report", Test_report.suite);
+      ("obs", Test_obs.suite);
       ("extensions", Test_extensions.suite);
       ("experiments", Test_experiments.suite);
     ]
