@@ -146,6 +146,30 @@ let observe_kernels () =
   Core.Obs.Ctl.set Core.Obs.Ctl.off;
   observed
 
+(* --- phase 4: GC pressure per kernel ------------------------------------ *)
+
+(* How many words each kernel makes the *host* GC allocate per run —
+   the direct measure of the simulator's hot-path allocation discipline
+   (event queue, heap index, scheduler). Observation stays off so the
+   numbers describe the same configuration bechamel timed. Each kernel
+   is run once to warm up (first-run arena/table growth is not steady
+   state), then [reps] times under [Gc.minor_words] deltas. *)
+
+let gc_kernels () =
+  let reps = if quick then 1 else 3 in
+  List.map
+    (fun (name, kernel) ->
+      kernel ();
+      let w0 = Gc.minor_words () in
+      let p0 = (Gc.quick_stat ()).Gc.promoted_words in
+      for _ = 1 to reps do
+        kernel ()
+      done;
+      let minor = (Gc.minor_words () -. w0) /. float_of_int reps in
+      let promoted = ((Gc.quick_stat ()).Gc.promoted_words -. p0) /. float_of_int reps in
+      (name, minor, promoted))
+    Kernels.all
+
 (* --- BENCH_kernels.json ------------------------------------------------- *)
 
 let json_escape s =
@@ -167,10 +191,11 @@ let kernel_key name =
   | Some i -> String.sub name (i + 1) (String.length name - i - 1)
   | None -> name
 
-let write_json path ~jobs ~experiments_wall_s ~bechamel_wall_s ~total_wall_s ~counters kernels =
+let write_json path ~jobs ~experiments_wall_s ~bechamel_wall_s ~total_wall_s ~counters ~gc
+    kernels =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": 1,\n";
+  Printf.fprintf oc "  \"schema\": 2,\n";
   Printf.fprintf oc "  \"mode\": %S,\n" (if quick then "quick" else "full");
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"experiments_wall_s\": %.3f,\n" experiments_wall_s;
@@ -193,7 +218,16 @@ let write_json path ~jobs ~experiments_wall_s ~bechamel_wall_s ~total_wall_s ~co
         cs;
       Printf.fprintf oc "}")
     counters;
-  Printf.fprintf oc "%s}\n}\n" (if counters = [] then "" else "\n  ");
+  Printf.fprintf oc "%s},\n" (if counters = [] then "" else "\n  ");
+  Printf.fprintf oc "  \"kernel_gc\": {";
+  List.iteri
+    (fun i (name, minor, promoted) ->
+      Printf.fprintf oc
+        "%s\n    \"%s\": {\"minor_words_per_run\": %.0f, \"promoted_words_per_run\": %.0f}"
+        (if i = 0 then "" else ",")
+        (json_escape name) minor promoted)
+    gc;
+  Printf.fprintf oc "%s}\n}\n" (if gc = [] then "" else "\n  ");
   close_out oc
 
 (* --- main ---------------------------------------------------------------- *)
@@ -219,13 +253,19 @@ let () =
   in
   let t2 = Unix.gettimeofday () in
   let counters = observe_kernels () in
+  let gc = gc_kernels () in
+  print_endline "=== gc: simulator allocation pressure per kernel (host minor words/run) ===";
+  List.iter
+    (fun (name, minor, promoted) ->
+      Printf.printf "%-28s %14.0f minor words/run %12.0f promoted\n" name minor promoted)
+    gc;
   let json_path =
     match Sys.getenv_opt "MALLOC_REPRO_BENCH_JSON" with
     | Some p -> p
     | None -> "BENCH_kernels.json"
   in
   write_json json_path ~jobs ~experiments_wall_s:(t1 -. t0) ~bechamel_wall_s:(t2 -. t1)
-    ~total_wall_s:(t2 -. t0) ~counters kernels;
+    ~total_wall_s:(t2 -. t0) ~counters ~gc kernels;
   Printf.printf "wall clock: experiments %.1fs, bechamel %.1fs -> %s\n" (t1 -. t0) (t2 -. t1)
     json_path;
   if failed <> [] then exit 1

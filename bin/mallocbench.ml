@@ -64,33 +64,49 @@ let metrics_arg =
            ~doc:"Print the observed-counters table (lock acquisitions and contention, \
                  cache-coherence traffic, arena churn, VM syscalls) after the runs.")
 
+let gc_stats_arg =
+  Arg.(value & flag
+       & info [ "gc-stats" ]
+           ~doc:"Print host-level GC deltas ($(b,Gc.quick_stat) before/after the runs): \
+                 how much the simulator itself allocated. Unlike $(b,--metrics) and \
+                 $(b,--trace) this never turns observation on, so it measures the \
+                 undisturbed hot path.")
+
 (* Turn observation on for the duration of [f], then drain the collected
    recorders into the requested sinks. With neither flag, [f] runs on the
-   disabled path untouched. *)
-let with_observation ~trace ~metrics f =
-  if trace = None && not metrics then f ()
-  else begin
-    Core.Obs.Ctl.set { Core.Obs.Ctl.trace = trace <> None; metrics };
-    let finish () =
-      Core.Obs.Ctl.set Core.Obs.Ctl.off;
-      let runs = Core.Obs.Collect.drain () in
-      (match trace with
-      | Some path ->
-          Core.Obs.Trace_json.write_file path runs;
-          Printf.printf "trace: %d events from %d runs -> %s\n"
-            (Core.Obs.Trace_json.event_total runs)
-            (List.length runs) path
-      | None -> ());
-      if metrics then Core.Metrics.print runs
-    in
-    Fun.protect ~finally:finish f
-  end
+   disabled path untouched; --gc-stats only snapshots Gc counters around
+   [f], so it composes with either path without perturbing it. *)
+let with_observation ~trace ~metrics ~gc_stats f =
+  let gc_before = if gc_stats then Some (Gc.quick_stat ()) else None in
+  let result =
+    if trace = None && not metrics then f ()
+    else begin
+      Core.Obs.Ctl.set { Core.Obs.Ctl.trace = trace <> None; metrics };
+      let finish () =
+        Core.Obs.Ctl.set Core.Obs.Ctl.off;
+        let runs = Core.Obs.Collect.drain () in
+        (match trace with
+        | Some path ->
+            Core.Obs.Trace_json.write_file path runs;
+            Printf.printf "trace: %d events from %d runs -> %s\n"
+              (Core.Obs.Trace_json.event_total runs)
+              (List.length runs) path
+        | None -> ());
+        if metrics then Core.Metrics.print runs
+      in
+      Fun.protect ~finally:finish f
+    end
+  in
+  (match gc_before with
+  | Some before -> Core.Metrics.print_gc ~before ~after:(Gc.quick_stat ())
+  | None -> ());
+  result
 
 (* --- bench1 ----------------------------------------------------------- *)
 
 let bench1_cmd =
-  let run machine factory seed workers iterations size processes trace metrics =
-    with_observation ~trace ~metrics @@ fun () ->
+  let run machine factory seed workers iterations size processes trace metrics gc_stats =
+    with_observation ~trace ~metrics ~gc_stats @@ fun () ->
     let params =
       { Core.Bench1.default with
         Core.Bench1.machine;
@@ -119,13 +135,13 @@ let bench1_cmd =
   Cmd.v
     (Cmd.info "bench1" ~doc:"Multithread scalability: timed malloc/free loops")
     Term.(const run $ machine_arg $ factory_arg $ seed_arg $ threads_arg 2 $ iterations $ size
-          $ processes $ trace_arg $ metrics_arg)
+          $ processes $ trace_arg $ metrics_arg $ gc_stats_arg)
 
 (* --- bench2 ----------------------------------------------------------- *)
 
 let bench2_cmd =
-  let run machine factory seed threads rounds objects replacements size trace metrics =
-    with_observation ~trace ~metrics @@ fun () ->
+  let run machine factory seed threads rounds objects replacements size trace metrics gc_stats =
+    with_observation ~trace ~metrics ~gc_stats @@ fun () ->
     let params =
       { Core.Bench2.machine;
         factory;
@@ -157,13 +173,13 @@ let bench2_cmd =
   Cmd.v
     (Cmd.info "bench2" ~doc:"Heap leakage: minor faults under cross-thread frees")
     Term.(const run $ machine_arg2 $ factory_arg $ seed_arg $ threads_arg 3 $ rounds $ objects
-          $ replacements $ size $ trace_arg $ metrics_arg)
+          $ replacements $ size $ trace_arg $ metrics_arg $ gc_stats_arg)
 
 (* --- bench3 ----------------------------------------------------------- *)
 
 let bench3_cmd =
-  let run machine factory seed threads size writes aligned trace metrics =
-    with_observation ~trace ~metrics @@ fun () ->
+  let run machine factory seed threads size writes aligned trace metrics gc_stats =
+    with_observation ~trace ~metrics ~gc_stats @@ fun () ->
     let params =
       { Core.Bench3.default with
         Core.Bench3.machine;
@@ -194,13 +210,13 @@ let bench3_cmd =
   Cmd.v
     (Cmd.info "bench3" ~doc:"False cache-line sharing between writer threads")
     Term.(const run $ machine_arg3 $ factory_arg $ seed_arg $ threads_arg 2 $ size $ writes
-          $ aligned $ trace_arg $ metrics_arg)
+          $ aligned $ trace_arg $ metrics_arg $ gc_stats_arg)
 
 (* --- server ------------------------------------------------------------ *)
 
 let server_cmd =
-  let run machine factory seed threads requests latency trace metrics =
-    with_observation ~trace ~metrics @@ fun () ->
+  let run machine factory seed threads requests latency trace metrics gc_stats =
+    with_observation ~trace ~metrics ~gc_stats @@ fun () ->
     let params =
       { Core.Server.default with
         Core.Server.machine;
@@ -233,16 +249,17 @@ let server_cmd =
   Cmd.v
     (Cmd.info "server" ~doc:"Network-server workload (iPlanet-style)")
     Term.(const run $ machine_arg4 $ factory_arg $ seed_arg $ threads_arg 4 $ requests $ latency
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ gc_stats_arg)
 
 (* --- experiment --------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run ids quick seed csv_dir jobs trace metrics =
+  let run ids quick seed csv_dir jobs trace metrics gc_stats =
     let opts = { Core.Exp_common.quick; seed } in
     let only = match ids with [] -> None | ids -> Some ids in
     let outcomes =
-      with_observation ~trace ~metrics (fun () -> Core.Experiments.run_all ?jobs ?only opts)
+      with_observation ~trace ~metrics ~gc_stats (fun () ->
+          Core.Experiments.run_all ?jobs ?only opts)
     in
     (match csv_dir with
     | None -> ()
@@ -282,7 +299,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
-    Term.(const run $ ids $ quick $ seed_arg $ csv_dir $ jobs $ trace_arg $ metrics_arg)
+    Term.(const run $ ids $ quick $ seed_arg $ csv_dir $ jobs $ trace_arg $ metrics_arg $ gc_stats_arg)
 
 (* --- list ---------------------------------------------------------------- *)
 

@@ -1,4 +1,5 @@
 module M = Mb_machine.Machine
+module Int_table = Mb_sim.Int_table
 
 type params = {
   mmap_threshold : int;
@@ -54,8 +55,10 @@ type t = {
   kind : kind;
   bins : chunk option array;
   fastbins : chunk option array;              (* glibc-2.3-style no-coalesce caches, opt-in *)
-  chunks : (int, chunk) Hashtbl.t;            (* every non-top chunk, by addr *)
-  mm_chunks : (int, int) Hashtbl.t;           (* direct-mmapped: chunk addr -> mapped len *)
+  chunks : chunk Int_table.t;                 (* every non-top chunk, by addr;
+                                                 probed on every free and
+                                                 coalesce, so open addressing *)
+  mm_chunks : int Int_table.t;                (* direct-mmapped: chunk addr -> mapped len *)
   top : top;
   mutable seg_base : int;                     (* -1 until the first growth *)
   mutable initialized : bool;
@@ -110,8 +113,8 @@ let create_main proc ~costs ~params ~stats =
     kind = Main;
     bins = Array.make nbins None;
     fastbins = Array.make nfastbins None;
-    chunks = Hashtbl.create 256;
-    mm_chunks = Hashtbl.create 16;
+    chunks = Int_table.create ~initial:256 ();
+    mm_chunks = Int_table.create ~initial:16 ();
     top = { taddr = 0; tsize = 0; tprev_size = 0 };
     seg_base = -1;
     initialized = false;
@@ -129,8 +132,8 @@ let create_sub ctx ~costs ~params ~stats =
           kind = Sub { region_base; region_len = params.sub_heap_bytes; sub_brk = region_base };
           bins = Array.make nbins None;
           fastbins = Array.make nfastbins None;
-          chunks = Hashtbl.create 256;
-          mm_chunks = Hashtbl.create 16;
+          chunks = Int_table.create ~initial:256 ();
+          mm_chunks = Int_table.create ~initial:16 ();
           top = { taddr = region_base; tsize = 0; tprev_size = 0 };
           seg_base = region_base;
           initialized = true;
@@ -188,13 +191,13 @@ let top_end t = t.top.taddr + t.top.tsize
 let set_prev_size t addr size =
   if addr = t.top.taddr then t.top.tprev_size <- size
   else
-    match Hashtbl.find_opt t.chunks addr with
-    | Some c -> c.prev_size <- size
-    | None -> ()  (* beyond the segment end *)
+    match Int_table.find_exn t.chunks addr with
+    | c -> c.prev_size <- size
+    | exception Not_found -> ()  (* beyond the segment end *)
 
 let prev_chunk t c =
   if c.prev_size = 0 then None
-  else Hashtbl.find_opt t.chunks (c.addr - c.prev_size)
+  else Int_table.find_opt t.chunks (c.addr - c.prev_size)
 
 (* --- growth -------------------------------------------------------------- *)
 
@@ -268,7 +271,7 @@ let split_chunk t ctx c size =
       }
     in
     c.size <- size;
-    Hashtbl.replace t.chunks rem.addr rem;
+    Int_table.set t.chunks rem.addr rem;
     set_prev_size t (rem.addr + rem.size) rem.size;
     let probes = bin_insert t rem in
     M.work ctx (Costs.apply t.costs t.costs.Costs.split);
@@ -292,7 +295,7 @@ let carve_top t ctx size =
   t.top.taddr <- t.top.taddr + size;
   t.top.tsize <- t.top.tsize - size;
   t.top.tprev_size <- size;
-  Hashtbl.replace t.chunks c.addr c;
+  Int_table.set t.chunks c.addr c;
   M.write_mem ctx c.addr;
   c
 
@@ -304,7 +307,7 @@ let malloc_mmapped t ctx csize =
   match M.mmap ctx ~len with
   | None -> None
   | Some addr ->
-      Hashtbl.replace t.mm_chunks addr len;
+      Int_table.set t.mm_chunks addr len;
       t.stats.Astats.mmapped_chunks <- t.stats.Astats.mmapped_chunks + 1;
       M.write_mem ctx addr;
       Astats.record_malloc t.stats (len - header_bytes);
@@ -318,7 +321,7 @@ let coalesce_and_bin t ctx c =
     match prev_chunk t c with
     | Some p when p.is_free ->
         unlink t p;
-        Hashtbl.remove t.chunks c.addr;
+        Int_table.remove t.chunks c.addr;
         p.size <- p.size + c.size;
         set_prev_size t (p.addr + p.size) p.size;
         M.work ctx (Costs.apply t.costs t.costs.Costs.coalesce);
@@ -329,7 +332,7 @@ let coalesce_and_bin t ctx c =
   (* Coalesce forward, possibly into the wilderness. *)
   let next_addr = c.addr + c.size in
   if next_addr = t.top.taddr then begin
-    Hashtbl.remove t.chunks c.addr;
+    Int_table.remove t.chunks c.addr;
     t.top.taddr <- c.addr;
     t.top.tsize <- t.top.tsize + c.size;
     t.top.tprev_size <- c.prev_size;
@@ -338,10 +341,10 @@ let coalesce_and_bin t ctx c =
     maybe_trim t ctx
   end
   else begin
-    (match Hashtbl.find_opt t.chunks next_addr with
+    (match Int_table.find_opt t.chunks next_addr with
     | Some n when n.is_free ->
         unlink t n;
-        Hashtbl.remove t.chunks n.addr;
+        Int_table.remove t.chunks n.addr;
         c.size <- c.size + n.size;
         set_prev_size t (c.addr + c.size) c.size;
         M.work ctx (Costs.apply t.costs t.costs.Costs.coalesce)
@@ -489,18 +492,18 @@ let malloc t ctx request =
 
 let free t ctx user =
   let caddr = user - header_bytes in
-  if Hashtbl.mem t.mm_chunks caddr then begin
+  if Int_table.mem t.mm_chunks caddr then begin
     M.work ctx (Costs.apply t.costs t.costs.Costs.free_base);
-    let len = Hashtbl.find t.mm_chunks caddr in
-    Hashtbl.remove t.mm_chunks caddr;
+    let len = Int_table.find_exn t.mm_chunks caddr in
+    Int_table.remove t.mm_chunks caddr;
     M.munmap ctx caddr ~len;
     Astats.record_free t.stats (len - header_bytes)
   end
   else begin
     let c =
-      match Hashtbl.find_opt t.chunks caddr with
-      | Some c -> c
-      | None -> invalid_arg "Dlheap.free: address not owned by this heap"
+      match Int_table.find_exn t.chunks caddr with
+      | c -> c
+      | exception Not_found -> invalid_arg "Dlheap.free: address not owned by this heap"
     in
     if c.is_free then invalid_arg "Dlheap.free: double free";
     if c.in_fastbin then invalid_arg "Dlheap.free: double free (fastbin)";
@@ -526,7 +529,7 @@ let free t ctx user =
 
 let owns t user =
   let caddr = user - header_bytes in
-  if Hashtbl.mem t.mm_chunks caddr then true
+  if Int_table.mem t.mm_chunks caddr then true
   else
     match t.kind with
     | Main -> t.initialized && caddr >= t.seg_base && caddr < top_end t
@@ -534,10 +537,10 @@ let owns t user =
 
 let usable_size t user =
   let caddr = user - header_bytes in
-  match Hashtbl.find_opt t.mm_chunks caddr with
+  match Int_table.find_opt t.mm_chunks caddr with
   | Some len -> len - header_bytes
   | None -> (
-      match Hashtbl.find_opt t.chunks caddr with
+      match Int_table.find_opt t.chunks caddr with
       | Some c -> c.size - header_bytes
       | None -> invalid_arg "Dlheap.usable_size: unknown address")
 
@@ -548,17 +551,17 @@ let segment_bounds t = if t.initialized then (t.seg_base, top_end t) else (0, 0)
 let top_bytes t = t.top.tsize
 
 let free_bytes t =
-  Hashtbl.fold (fun _ c acc -> if c.is_free then acc + c.size else acc) t.chunks 0
+  Int_table.fold (fun _ c acc -> if c.is_free then acc + c.size else acc) t.chunks 0
 
 let live_chunks t =
-  Hashtbl.fold (fun _ c acc -> if c.is_free then acc else acc + 1) t.chunks 0
+  Int_table.fold (fun _ c acc -> if c.is_free then acc else acc + 1) t.chunks 0
 
 let used_bytes t =
-  Hashtbl.fold (fun _ c acc -> if c.is_free then acc else acc + c.size) t.chunks 0
+  Int_table.fold (fun _ c acc -> if c.is_free then acc else acc + c.size) t.chunks 0
 
-let mmapped_bytes t = Hashtbl.fold (fun _ len acc -> acc + len) t.mm_chunks 0
+let mmapped_bytes t = Int_table.fold (fun _ len acc -> acc + len) t.mm_chunks 0
 
-let mmapped_count t = Hashtbl.length t.mm_chunks
+let mmapped_count t = Int_table.length t.mm_chunks
 
 let set_params t params = t.params <- params
 
@@ -589,7 +592,7 @@ let validate t =
           else Ok ()
         else if addr > t.top.taddr then fail "chunk walk overshot top at 0x%x" addr
         else
-          match Hashtbl.find_opt t.chunks addr with
+          match Int_table.find_opt t.chunks addr with
           | None -> fail "segment hole at 0x%x" addr
           | Some c ->
               if c.size < min_chunk_bytes then fail "undersized chunk at 0x%x" addr
@@ -638,7 +641,7 @@ let validate t =
         let rec count node = match node with None -> () | Some c -> incr binned; count c.fd in
         count head)
       t.bins;
-    let free_chunks = Hashtbl.fold (fun _ c acc -> if c.is_free then acc + 1 else acc) t.chunks 0 in
+    let free_chunks = Int_table.fold (fun _ c acc -> if c.is_free then acc + 1 else acc) t.chunks 0 in
     if !binned <> free_chunks then fail "%d free chunks but %d binned" free_chunks !binned
     else Ok ()
   in

@@ -1,4 +1,5 @@
 module M = Mb_machine.Machine
+module Int_table = Mb_sim.Int_table
 module Rng = Mb_prng.Rng
 
 type arena = {
@@ -19,7 +20,8 @@ type t = {
                                        appending an arena is amortized
                                        O(1) instead of an O(n) copy. *)
   mutable n_arenas : int;
-  tl_arena : (int, arena) Hashtbl.t;  (* thread id -> last-used arena *)
+  tl_arena : arena Int_table.t;     (* thread id -> last-used arena;
+                                       probed on every malloc and free *)
   mutable meta_base : int;          (* descriptor region; -1 until mapped *)
   meta_phase : int;                 (* per-run layout phase, 0..31 *)
   max_arenas : int option;
@@ -52,7 +54,7 @@ let make proc ?(costs = Costs.glibc) ?(params = Dlheap.default_params) ?max_aren
     stats;
     arenas = Array.make 4 main;  (* slots >= n_arenas are padding *)
     n_arenas = 1;
-    tl_arena = Hashtbl.create 16;
+    tl_arena = Int_table.create ~initial:16 ();
     meta_base = -1;
     meta_phase = Rng.int (M.rng machine) 32;
     max_arenas;
@@ -84,7 +86,7 @@ let fold_arenas t f init =
   !acc
 
 let arena_of_thread t tid =
-  match Hashtbl.find_opt t.tl_arena tid with Some a -> Some a.aindex | None -> None
+  match Int_table.find_opt t.tl_arena tid with Some a -> Some a.aindex | None -> None
 
 let arena_live_chunks t =
   Array.to_list (Array.map (fun a -> Dlheap.live_chunks a.heap) (live_arenas t))
@@ -143,7 +145,11 @@ let create_arena t ctx =
    Returns with the arena's mutex held. *)
 let acquire_arena t ctx =
   let tid = M.tid ctx in
-  let preferred = match Hashtbl.find_opt t.tl_arena tid with Some a -> a | None -> t.arenas.(0) in
+  let preferred =
+    match Int_table.find_exn t.tl_arena tid with
+    | a -> a
+    | exception Not_found -> t.arenas.(0)
+  in
   if M.Mutex.try_lock preferred.mutex ctx then preferred
   else begin
     t.stats.Astats.contended_ops <- t.stats.Astats.contended_ops + 1;
@@ -175,11 +181,11 @@ let acquire_arena t ctx =
 
 let remember t ctx arena =
   let tid = M.tid ctx in
-  (match Hashtbl.find_opt t.tl_arena tid with
-  | Some prev when prev == arena -> ()
-  | Some _ -> t.stats.Astats.arena_switches <- t.stats.Astats.arena_switches + 1
-  | None -> ());
-  Hashtbl.replace t.tl_arena tid arena
+  (match Int_table.find_exn t.tl_arena tid with
+  | prev when prev == arena -> ()
+  | _ -> t.stats.Astats.arena_switches <- t.stats.Astats.arena_switches + 1
+  | exception Not_found -> ());
+  Int_table.set t.tl_arena tid arena
 
 let rec malloc_with t ctx arena size attempts =
   M.write_mem ctx arena.descriptor;
@@ -222,10 +228,10 @@ let free t ctx user =
   | None -> invalid_arg "ptmalloc.free: address not owned by any arena"
   | Some arena ->
       let tid = M.tid ctx in
-      (match Hashtbl.find_opt t.tl_arena tid with
-      | Some a when a != arena -> t.stats.Astats.foreign_frees <- t.stats.Astats.foreign_frees + 1
-      | Some _ -> ()
-      | None -> ());
+      (match Int_table.find_exn t.tl_arena tid with
+      | a when a != arena -> t.stats.Astats.foreign_frees <- t.stats.Astats.foreign_frees + 1
+      | _ -> ()
+      | exception Not_found -> ());
       (* free must take the owning arena's lock and wait if necessary. *)
       if not (M.Mutex.try_lock arena.mutex ctx) then begin
         t.stats.Astats.contended_ops <- t.stats.Astats.contended_ops + 1;

@@ -44,9 +44,19 @@ let default_config =
 
 type thread_state = Starting | Ready | Running | Blocked | Finished
 
+(* All-float record: its fields are stored unboxed, so the scheduler's
+   per-slice updates (busy time) write a raw double instead of
+   allocating a fresh box, which a float field in the mixed record below
+   would do on every assignment. *)
+type machine_hot = { mutable busy : float }
+
 type t = {
   config : config;
   engine : Engine.t;
+  dcell : Mb_sim.Pqueue.cell;
+      (* engine's delay hand-off cell, cached so the hot path is
+         [m.dcell.cell_time <- ns; Engine.delay_pending m.engine] — an
+         unboxed store plus an allocation-free constant effect *)
   cache : Coherence.t;
   root_rng : Rng.t;
   cycle_ns : float;
@@ -56,7 +66,7 @@ type t = {
   mutable next_tid : int;
   mutable next_asid : int;
   mutable ctx_switches : int;
-  mutable busy : float;
+  mh : machine_hot;
   mutable bkl : mutex option;  (* the 2.2-era big kernel lock guarding VM
                                   syscalls (paper section 3); lazy *)
   obs : Obs.t;
@@ -92,18 +102,31 @@ and proc = {
   mutable ever_multi : bool;
 }
 
-and thread = {
-  tid : int;
-  tname : string;
-  tproc : proc;
-  trng : Rng.t;
-  mutable state : thread_state;
-  mutable resume : (unit -> unit) option;
-  mutable on_cpu : int;  (* valid while Running *)
+(* The per-thread floats the scheduler touches on every dispatch, time
+   slice and memory access live in their own all-float record: a float
+   field in [thread] itself (a mixed record) is boxed, and each
+   [th.cpu_cycles <- ...] would allocate. Split out, every update is an
+   unboxed store. *)
+and thread_hot = {
   mutable quantum_left : float;
   mutable spawn_ns : float;
   mutable finish_ns : float;
   mutable cpu_cycles : float;
+  mutable run_start_ns : float;  (* dispatch time of the current CPU tenure *)
+}
+
+and thread = {
+  tid : int;
+  mutable tname : string;  (* "" until someone asks; see [thread_name] *)
+  tproc : proc;
+  trng : Rng.t;
+  mutable state : thread_state;
+  mutable resume : unit -> unit;  (* == no_resume while not parked *)
+  mutable park_register : (unit -> unit) -> unit;
+      (* preallocated closure handed to Engine.park, so parking for a
+         CPU allocates nothing in the scheduler *)
+  mutable on_cpu : int;  (* valid while Running *)
+  hot : thread_hot;
   mutable switches : int;
   mutable blocks : int;
   mutable spin_wins : int;
@@ -112,7 +135,6 @@ and thread = {
   mutable hooks : (unit -> unit) list;
   joiners : thread Queue.t;
   mutable lane : int;  (* engine pid: this thread's trace lane *)
-  mutable run_start_ns : float;  (* dispatch time of the current CPU tenure *)
 }
 
 type ctx = thread
@@ -125,6 +147,12 @@ type thread_stats = {
   page_faults : int;
 }
 
+(* Sentinel for "no stored resume": physical comparison against this
+   shared closure replaces the [option] box a park used to allocate. *)
+let no_resume : unit -> unit = fun () -> ()
+
+let no_register : (unit -> unit) -> unit = fun _ -> ()
+
 let thread_stack_bytes = 16 * 1024
 
 let create ?(seed = 42) ?obs (config : config) =
@@ -132,8 +160,10 @@ let create ?(seed = 42) ?obs (config : config) =
   if config.mhz <= 0. then invalid_arg "Machine.create: mhz <= 0";
   let cycle_ns = 1000. /. config.mhz in
   let obs = match obs with Some r -> r | None -> Mb_obs.Ctl.recorder () in
+  let engine = Engine.create ~obs () in
   { config;
-    engine = Engine.create ~obs ();
+    engine;
+    dcell = Engine.delay_cell engine;
     cache = Coherence.create config.cache ~cpus:config.cpus;
     root_rng = Rng.create ~seed;
     cycle_ns;
@@ -143,7 +173,7 @@ let create ?(seed = 42) ?obs (config : config) =
     next_tid = 0;
     next_asid = 0;
     ctx_switches = 0;
-    busy = 0.;
+    mh = { busy = 0. };
     bkl = None;
     obs;
     mutexes = [];
@@ -209,9 +239,22 @@ let now_ns t = Engine.now t.engine
 
 let total_ctx_switches (t : t) = t.ctx_switches
 
-let busy_cycles t = t.busy
+let busy_cycles t = t.mh.busy
 
 let kernel_lock_contentions t = match t.bkl with Some mu -> mu.contentions | None -> 0
+
+(* --- thread names ----------------------------------------------------- *)
+
+(* Default names ("<proc>/t<tid>") are materialized on first use — an
+   error message, a trace lane — so unobserved runs never pay the
+   Printf or the string allocation. *)
+let thread_name th =
+  if th.tname = "" then begin
+    let n = Printf.sprintf "%s/t%d" th.tproc.pname th.tid in
+    th.tname <- n;
+    n
+  end
+  else th.tname
 
 (* --- scheduler ------------------------------------------------------- *)
 
@@ -228,39 +271,37 @@ let dispatch m cpu =
         th.on_cpu <- cpu.cpu_id;
         (* The first timer tick after a switch lands at a random phase of
            the quantum, as hardware timer interrupts do. *)
-        th.quantum_left <- m.quantum_cycles *. (0.5 +. (0.5 *. Rng.float m.root_rng 1.0));
+        th.hot.quantum_left <- m.quantum_cycles *. (0.5 +. (0.5 *. Rng.float m.root_rng 1.0));
         th.switches <- th.switches + 1;
         m.ctx_switches <- m.ctx_switches + 1;
         let switch = float_of_int m.config.ctx_switch_cycles in
-        m.busy <- m.busy +. switch;
-        th.cpu_cycles <- th.cpu_cycles +. switch;
-        let resume =
-          match th.resume with
-          | Some r -> r
-          | None -> invalid_arg "Machine: dispatching a thread that never parked"
-        in
-        th.resume <- None;
-        th.run_start_ns <- Engine.now m.engine;
+        m.mh.busy <- m.mh.busy +. switch;
+        th.hot.cpu_cycles <- th.hot.cpu_cycles +. switch;
+        let resume = th.resume in
+        if resume == no_resume then
+          invalid_arg "Machine: dispatching a thread that never parked";
+        th.resume <- no_resume;
+        th.hot.run_start_ns <- Engine.now m.engine;
         Engine.at m.engine (Engine.now m.engine +. cycles_to_ns m switch) resume
       end
 
 let kick m = Array.iter (fun cpu -> dispatch m cpu) m.cpus
 
-let park_for_cpu th = Engine.park (fun r -> th.resume <- Some r)
+let park_for_cpu th = Engine.park th.park_register
 
 (* Release the CPU this thread is running on and let the scheduler hand it
    to someone else. Caller decides where the thread itself goes. *)
 let release_cpu m th =
   if th.on_cpu < 0 || th.on_cpu >= Array.length m.cpus then
-    invalid_arg (Printf.sprintf "Machine.release_cpu: thread %s has no CPU (state?)" th.tname);
+    invalid_arg (Printf.sprintf "Machine.release_cpu: thread %s has no CPU (state?)" (thread_name th));
   let cpu = m.cpus.(th.on_cpu) in
   (match cpu.current with
   | Some cur when cur == th -> cpu.current <- None
   | Some _ | None -> invalid_arg "Machine: thread releasing a CPU it does not hold");
   if Obs.tracing m.obs then begin
     let now = Engine.now m.engine in
-    Obs.span m.obs ~lane:th.lane ~name:"run" ~ts_ns:th.run_start_ns
-      ~dur_ns:(now -. th.run_start_ns)
+    Obs.span m.obs ~lane:th.lane ~name:"run" ~ts_ns:th.hot.run_start_ns
+      ~dur_ns:(now -. th.hot.run_start_ns)
       ~args:[ ("cpu", string_of_int cpu.cpu_id) ]
       ()
   end;
@@ -278,25 +319,51 @@ let preempt m th =
   release_cpu m th;
   park_for_cpu th
 
-(* Consume CPU cycles, honoring quantum-based round-robin preemption. *)
+(* Consume CPU cycles, honoring quantum-based round-robin preemption.
+
+   This runs for every simulated work item, lock operation and memory
+   access, so the common case — the quantum does not expire — is kept
+   to a single [Engine.delay] with all float arithmetic local (local
+   float temporaries stay unboxed; only the delay's payload is boxed).
+   The recursive quantum-boundary path is rare: a handful of context
+   switches per million cycles. *)
 let rec consume th cycles =
   if cycles > 0. then begin
     let m = th.tproc.pm in
-    let slice = min cycles th.quantum_left in
-    Engine.delay (cycles_to_ns m slice);
-    th.cpu_cycles <- th.cpu_cycles +. slice;
-    m.busy <- m.busy +. slice;
-    th.quantum_left <- th.quantum_left -. slice;
-    if th.quantum_left <= 0. then begin
-      if Queue.is_empty m.ready then th.quantum_left <- m.quantum_cycles
-      else preempt m th
-    end;
-    consume th (cycles -. slice)
+    let q = th.hot.quantum_left in
+    if cycles <= q then begin
+      m.dcell.Mb_sim.Pqueue.cell_time <- cycles *. m.cycle_ns;
+      Engine.delay_pending m.engine;
+      th.hot.cpu_cycles <- th.hot.cpu_cycles +. cycles;
+      m.mh.busy <- m.mh.busy +. cycles;
+      let q' = q -. cycles in
+      th.hot.quantum_left <- q';
+      if q' <= 0. then begin
+        if Queue.is_empty m.ready then th.hot.quantum_left <- m.quantum_cycles
+        else preempt m th
+      end
+    end
+    else begin
+      m.dcell.Mb_sim.Pqueue.cell_time <- q *. m.cycle_ns;
+      Engine.delay_pending m.engine;
+      th.hot.cpu_cycles <- th.hot.cpu_cycles +. q;
+      m.mh.busy <- m.mh.busy +. q;
+      th.hot.quantum_left <- 0.;
+      if Queue.is_empty m.ready then th.hot.quantum_left <- m.quantum_cycles
+      else preempt m th;
+      consume th (cycles -. q)
+    end
   end
 
 let find_idle_cpu m =
   let n = Array.length m.cpus in
-  let rec scan i = if i >= n then None else if m.cpus.(i).current = None then Some m.cpus.(i) else scan (i + 1) in
+  let rec scan i =
+    if i >= n then None
+    else
+      match m.cpus.(i).current with
+      | None -> Some m.cpus.(i)
+      | Some _ -> scan (i + 1)
+  in
   scan 0
 
 (* First scheduling of a brand-new thread. *)
@@ -306,20 +373,42 @@ let acquire_cpu_initial m th =
       cpu.current <- Some th;
       th.state <- Running;
       th.on_cpu <- cpu.cpu_id;
-      th.run_start_ns <- Engine.now m.engine;
-      th.quantum_left <- m.quantum_cycles *. (0.5 +. (0.5 *. Rng.float m.root_rng 1.0));
+      th.hot.run_start_ns <- Engine.now m.engine;
+      th.hot.quantum_left <- m.quantum_cycles *. (0.5 +. (0.5 *. Rng.float m.root_rng 1.0));
       th.switches <- th.switches + 1;
       m.ctx_switches <- m.ctx_switches + 1;
       let switch = float_of_int m.config.ctx_switch_cycles in
-      m.busy <- m.busy +. switch;
-      th.cpu_cycles <- th.cpu_cycles +. switch;
+      m.mh.busy <- m.mh.busy +. switch;
+      th.hot.cpu_cycles <- th.hot.cpu_cycles +. switch;
       Engine.delay (cycles_to_ns m switch)
   | None ->
       th.state <- Ready;
       Queue.push th m.ready;
       park_for_cpu th
 
-let work_exact_cycles th cycles = if cycles > 0 then consume th (float_of_int cycles)
+(* Integer-cycle entry point for the fixed-cost callers (lock ops,
+   cache penalties, syscalls, faults). Duplicates [consume]'s common
+   case so the cycle count never crosses a call boundary as a [float]
+   (which would box it); the quantum-boundary path falls back. *)
+let work_exact_cycles th cycles =
+  if cycles > 0 then begin
+    let fc = float_of_int cycles in
+    let q = th.hot.quantum_left in
+    if fc <= q then begin
+      let m = th.tproc.pm in
+      m.dcell.Mb_sim.Pqueue.cell_time <- fc *. m.cycle_ns;
+      Engine.delay_pending m.engine;
+      th.hot.cpu_cycles <- th.hot.cpu_cycles +. fc;
+      m.mh.busy <- m.mh.busy +. fc;
+      let q' = q -. fc in
+      th.hot.quantum_left <- q';
+      if q' <= 0. then begin
+        if Queue.is_empty m.ready then th.hot.quantum_left <- m.quantum_cycles
+        else preempt m th
+      end
+    end
+    else consume th fc
+  end
 
 (* --- mutex mechanics (shared by Mutex and the kernel lock) ---------- *)
 
@@ -352,20 +441,24 @@ let mutex_try_lock mu th =
       mu.contentions <- mu.contentions + 1;
       false
 
+(* Spin-poll the lock word every 8 cycles until it looks free or the
+   budget runs out; each probe is one simulated work item. Top-level so
+   the recursion is a direct call, not a per-spin closure. *)
+let rec spin_on mu th budget =
+  if budget > 0 && (match mu.owner with Some _ -> true | None -> false) then begin
+    let step = if budget < 8 then budget else 8 in
+    work_exact_cycles th step;
+    spin_on mu th (budget - step)
+  end
+
 (* Contended path: spin (on SMP, if configured), then either race a CAS
    for a freed lock or block. Any time consumed between observing the
    lock free and retiring the CAS can lose the race to another spinner,
    hence the retry loop. *)
 let rec mutex_lock_slow mu th =
   let m = mu.mm in
-  if m.config.spin_cycles > 0 && m.config.cpus > 1 then begin
-    let budget = ref m.config.spin_cycles in
-    while !budget > 0 && mu.owner <> None do
-      let step = min 8 !budget in
-      consume th (float_of_int step);
-      budget := !budget - step
-    done
-  end;
+  if m.config.spin_cycles > 0 && m.config.cpus > 1 then
+    spin_on mu th m.config.spin_cycles;
   match mu.owner with
   | None -> begin
       work_exact_cycles th (lock_op_cost th);
@@ -476,12 +569,10 @@ let proc_name p = p.pname
 
 let elapsed_ns th =
   if th.state <> Finished then invalid_arg "Machine.elapsed_ns: thread still running";
-  th.finish_ns -. th.spawn_ns
-
-let thread_name th = th.tname
+  th.hot.finish_ns -. th.hot.spawn_ns
 
 let thread_stats (th : thread) : thread_stats =
-  { cpu_cycles = th.cpu_cycles;
+  { cpu_cycles = th.hot.cpu_cycles;
     ctx_switches = th.switches;
     blocks = th.blocks;
     spins = th.spin_wins;
@@ -493,7 +584,7 @@ let page_in th addr ~len =
   let faults = As.touch th.tproc.pvm addr ~len in
   if faults > 0 then begin
     th.faults <- th.faults + faults;
-    consume th (float_of_int (faults * m.config.minor_fault_cycles))
+    work_exact_cycles th (faults * m.config.minor_fault_cycles)
   end
 
 let work_exact = work_exact_cycles
@@ -508,19 +599,22 @@ let spawn p ?name body =
   let m = p.pm in
   let tid = m.next_tid in
   m.next_tid <- tid + 1;
-  let tname = match name with Some n -> n | None -> Printf.sprintf "%s/t%d" p.pname tid in
   let th =
     { tid;
-      tname;
+      tname = (match name with Some n -> n | None -> "");
       tproc = p;
       trng = Rng.split p.prng;
       state = Starting;
-      resume = None;
+      resume = no_resume;
+      park_register = no_register;
       on_cpu = -1;
-      quantum_left = 0.;
-      spawn_ns = Engine.now m.engine;
-      finish_ns = nan;
-      cpu_cycles = 0.;
+      hot =
+        { quantum_left = 0.;
+          spawn_ns = Engine.now m.engine;
+          finish_ns = nan;
+          cpu_cycles = 0.;
+          run_start_ns = 0.;
+        };
       switches = 0;
       blocks = 0;
       spin_wins = 0;
@@ -529,13 +623,17 @@ let spawn p ?name body =
       hooks = [];
       joiners = Queue.create ();
       lane = 0;
-      run_start_ns = 0.;
     }
   in
+  th.park_register <- (fun r -> th.resume <- r);
   p.live_threads <- p.live_threads + 1;
   if p.live_threads >= 2 then p.ever_multi <- true;
+  (* The engine only needs a name string for trace lanes (and error
+     messages, where it materializes its own default) — don't format one
+     on unobserved runs. *)
+  let ename = if Obs.tracing m.obs then Some (thread_name th) else name in
   th.lane <-
-    (Engine.spawn m.engine ~name:tname (fun () ->
+    (Engine.spawn m.engine ?name:ename (fun () ->
          acquire_cpu_initial m th;
          (* pthread_create: kernel work plus a freshly mapped stack whose
             first page faults in — the paper's ~1 page per thread. *)
@@ -548,7 +646,7 @@ let spawn p ?name body =
          body th;
          List.iter (fun hook -> hook ()) (List.rev th.hooks);
          As.munmap p.pvm th.stack_addr ~len:thread_stack_bytes;
-         th.finish_ns <- Engine.now m.engine;
+         th.hot.finish_ns <- Engine.now m.engine;
          th.state <- Finished;
          p.live_threads <- p.live_threads - 1;
          Queue.iter (fun joiner -> make_ready m joiner) th.joiners;
@@ -595,17 +693,17 @@ let phys th addr = (th.tproc.pasid lsl 40) lor addr
 let read_mem th addr =
   page_in th addr ~len:1;
   let cost = Coherence.read th.tproc.pm.cache ~cpu:th.on_cpu (phys th addr) in
-  consume th (float_of_int cost)
+  work_exact_cycles th cost
 
 let write_mem th addr =
   page_in th addr ~len:1;
   let cost = Coherence.write th.tproc.pm.cache ~cpu:th.on_cpu (phys th addr) in
-  consume th (float_of_int cost)
+  work_exact_cycles th cost
 
 let write_mem_repeated th addr ~count =
   page_in th addr ~len:1;
   let cost = Coherence.write_repeated th.tproc.pm.cache ~cpu:th.on_cpu (phys th addr) ~count in
-  consume th (float_of_int cost)
+  work_exact_cycles th cost
 
 let touch_range th addr ~len = page_in th addr ~len
 

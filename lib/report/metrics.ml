@@ -24,3 +24,19 @@ let to_csv recorders =
          (counters recorders))
 
 let print recorders = Table.print (to_table recorders)
+
+let gc_table ~(before : Gc.stat) ~(after : Gc.stat) =
+  let t =
+    Table.make ~title:"Host GC pressure (Gc.quick_stat deltas)"
+      ~header:[ "metric"; "delta" ]
+  in
+  let words name f = Table.row t [ name; Printf.sprintf "%.0f" f ] in
+  let count name n = Table.row t [ name; string_of_int n ] in
+  words "minor_words" (after.Gc.minor_words -. before.Gc.minor_words);
+  words "promoted_words" (after.Gc.promoted_words -. before.Gc.promoted_words);
+  words "major_words" (after.Gc.major_words -. before.Gc.major_words);
+  count "minor_collections" (after.Gc.minor_collections - before.Gc.minor_collections);
+  count "major_collections" (after.Gc.major_collections - before.Gc.major_collections);
+  t
+
+let print_gc ~before ~after = Table.print (gc_table ~before ~after)

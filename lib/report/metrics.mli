@@ -15,3 +15,11 @@ val to_csv : (string * Mb_obs.Recorder.t) list -> string
 
 val print : (string * Mb_obs.Recorder.t) list -> unit
 (** [to_table] straight to stdout. *)
+
+val gc_table : before:Gc.stat -> after:Gc.stat -> Table.t
+(** Deltas of the allocation-pressure fields of two [Gc.quick_stat]
+    snapshots (minor/promoted/major words, collection counts): how hard
+    the simulator itself leaned on the host GC between the snapshots. *)
+
+val print_gc : before:Gc.stat -> after:Gc.stat -> unit
+(** [gc_table] straight to stdout. *)

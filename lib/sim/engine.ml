@@ -2,98 +2,186 @@ module Obs = Mb_obs.Recorder
 
 type pid = int
 
+(* A pending event. Suspended computations are stored as bare
+   continuations rather than [fun () -> continue k ()] closures: the
+   hot Delay path then allocates one two-word variant per event instead
+   of a closure, and the run loop resumes the continuation directly. *)
+type task =
+  | Thunk of (unit -> unit)
+  | Resume of (unit, unit) Effect.Deep.continuation
+
 type t = {
-  mutable clock : float;
-  queue : (unit -> unit) Pqueue.t;
+  clock : Pqueue.cell;  (* all-float cell: advancing the clock never boxes *)
+  scratch : Pqueue.cell;  (* resume-time scratch for the Delay hot path *)
+  peek : Pqueue.cell;  (* scratch for reading the queue top in delay_pending *)
+  queue : task Pqueue.t;
   mutable next_pid : int;
   mutable live : int;
   (* Processes currently suspended, indexed by pid: a flat array beats a
-     Hashtbl on the park/resume hot path (no hashing, no bucket walk).
-     Slot [pid] holds the process name while it is parked. *)
-  mutable parked : string option array;
+     Hashtbl on the park/resume hot path (no hashing, no bucket walk). *)
+  mutable parked : bool array;
   mutable parked_count : int;
+  (* Process names, indexed by pid; "" means "never named", and the
+     default "proc-<pid>" is materialized only when something actually
+     needs the string (a trace lane, an error message) — unobserved runs
+     skip the Printf entirely. *)
+  mutable names : string array;
+  (* Hand-off slot between [effc] and the preallocated Park handler
+     closure (see [start]); holds [no_register] outside a perform. *)
+  mutable pending_register : (unit -> unit) -> unit;
   obs : Obs.t;  (* trace sink; Obs.null unless the run is observed *)
 }
+
+let no_register : (unit -> unit) -> unit = fun _ -> ()
 
 exception Stalled of string
 
 type _ Effect.t += Delay : float -> unit Effect.t
 type _ Effect.t += Park : ((unit -> unit) -> unit) -> unit Effect.t
 
+(* Constant-constructor twin of [Delay]: the duration travels through
+   the engine's [scratch] cell instead of the effect value, so a
+   perform allocates no effect block and no float box. This is the
+   machine layer's hot path — see [delay_cell]/[delay_pending]. *)
+type _ Effect.t += Tick : unit Effect.t
+
 let create ?(obs = Obs.null) () =
-  { clock = 0.;
+  { clock = Pqueue.make_cell ();
+    scratch = Pqueue.make_cell ();
+    peek = Pqueue.make_cell ();
     queue = Pqueue.create ();
     next_pid = 0;
     live = 0;
-    parked = Array.make 16 None;
+    parked = Array.make 16 false;
     parked_count = 0;
+    names = Array.make 16 "";
+    pending_register = no_register;
     obs;
   }
 
 let observer t = t.obs
 
-let now t = t.clock
+let now t = t.clock.Pqueue.cell_time
+
+let name_of t pid =
+  let n = t.names.(pid) in
+  if n = "" then Printf.sprintf "proc-%d" pid else n
 
 let at t time thunk =
-  if time < t.clock then invalid_arg "Engine.at: time in the past";
-  Pqueue.push t.queue ~time thunk
+  if time < t.clock.Pqueue.cell_time then invalid_arg "Engine.at: time in the past";
+  Pqueue.push t.queue ~time (Thunk thunk)
 
 let delay d = Effect.perform (Delay d)
+
+let delay_cell t = t.scratch
+
+(* Immediate-resume fast path: if the delayed process would be the next
+   event popped anyway — its wake-up time is strictly earlier than
+   everything queued — the suspend/enqueue/pop/resume round trip is pure
+   overhead: nothing else runs in between and no per-event observation
+   exists, so advancing the clock and returning is observationally
+   identical (a tie must go through the queue: the queued event's lower
+   sequence number wins FIFO order). Skipping the push leaves sequence
+   numbers smaller than they would have been, which is invisible — seqs
+   only order events relative to each other and stay monotonic. This
+   skips the effect perform and the runtime's continuation capture, by
+   far the most expensive parts of a simulated delay. *)
+let delay_pending t =
+  let clock = t.clock.Pqueue.cell_time in
+  let nt = clock +. t.scratch.Pqueue.cell_time in
+  let fast =
+    if Pqueue.is_empty t.queue then true
+    else begin
+      Pqueue.read_top_time t.queue t.peek;
+      nt < t.peek.Pqueue.cell_time
+    end
+  in
+  if fast then begin
+    if nt < clock then invalid_arg "Engine.delay: negative delay";
+    t.clock.Pqueue.cell_time <- nt
+  end
+  else Effect.perform Tick
 
 let park register = Effect.perform (Park register)
 
 let yield () = delay 0.
 
-let set_parked t pid name =
-  (match t.parked.(pid) with
-  | None -> t.parked_count <- t.parked_count + 1
-  | Some _ -> ());
-  t.parked.(pid) <- Some name
+let set_parked t pid =
+  if not t.parked.(pid) then begin
+    t.parked_count <- t.parked_count + 1;
+    t.parked.(pid) <- true
+  end
 
 let clear_parked t pid =
-  match t.parked.(pid) with
-  | None -> ()
-  | Some _ ->
-      t.parked.(pid) <- None;
-      t.parked_count <- t.parked_count - 1
+  if t.parked.(pid) then begin
+    t.parked.(pid) <- false;
+    t.parked_count <- t.parked_count - 1
+  end
 
 (* Run one step of a process body under the engine's effect handler. The
    handler is installed once per process; continuations captured by Delay
-   and Park re-enter it automatically (deep handlers). *)
-let start t pid name body =
+   and Park re-enter it automatically (deep handlers).
+
+   Allocation discipline: a simulated thread performs Delay on every
+   work item and memory access, so the per-perform cost here is the
+   hottest path in the whole simulator. The [effc] callback therefore
+   returns closures preallocated once per process ([on_delay]/[on_park]
+   below) instead of building a [Some (fun k -> ...)] per perform; the
+   effect's payload is handed from [effc] to the closure through the
+   engine's unboxed [scratch] cell ([Delay]) or the [pending_register]
+   field ([Park]) — both stores, not allocations. A Delay perform thus
+   allocates only the effect value itself and the runtime's
+   continuation. *)
+let start t pid body =
   let open Effect.Deep in
   let finish () =
     t.live <- t.live - 1;
     clear_parked t pid;
-    Obs.instant t.obs ~lane:pid ~name:"exit" ~ts_ns:t.clock ()
+    if Obs.tracing t.obs then
+      Obs.instant t.obs ~lane:pid ~name:"exit" ~ts_ns:t.clock.Pqueue.cell_time ()
   in
-  let handler =
-    { effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Delay d ->
-              Some
-                (fun (k : (a, unit) continuation) ->
-                  if d < 0. then
-                    discontinue k (Invalid_argument "Engine.delay: negative delay")
-                  else at t (t.clock +. d) (fun () -> continue k ()))
-          | Park register ->
-              Some
-                (fun (k : (a, unit) continuation) ->
-                  set_parked t pid name;
-                  Obs.instant t.obs ~lane:pid ~name:"park" ~ts_ns:t.clock ();
-                  let resumed = ref false in
-                  let resume () =
-                    if !resumed then
-                      invalid_arg (Printf.sprintf "Engine: process %s resumed twice" name);
-                    resumed := true;
-                    clear_parked t pid;
-                    Obs.instant t.obs ~lane:pid ~name:"unpark" ~ts_ns:t.clock ();
-                    at t t.clock (fun () -> continue k ())
-                  in
-                  register resume)
-          | _ -> None)
-    }
+  let on_delay : ((unit, unit) continuation -> unit) option =
+    Some
+      (fun k ->
+        (* scratch already holds clock + d (written by effc below). *)
+        if t.scratch.Pqueue.cell_time < t.clock.Pqueue.cell_time then
+          discontinue k (Invalid_argument "Engine.delay: negative delay")
+        else Pqueue.push_cell t.queue t.scratch (Resume k))
+  in
+  let on_park : ((unit, unit) continuation -> unit) option =
+    Some
+      (fun k ->
+        let register = t.pending_register in
+        t.pending_register <- no_register;
+        set_parked t pid;
+        if Obs.tracing t.obs then
+          Obs.instant t.obs ~lane:pid ~name:"park" ~ts_ns:t.clock.Pqueue.cell_time ();
+        let resumed = ref false in
+        let resume () =
+          if !resumed then
+            invalid_arg (Printf.sprintf "Engine: process %s resumed twice" (name_of t pid));
+          resumed := true;
+          clear_parked t pid;
+          if Obs.tracing t.obs then
+            Obs.instant t.obs ~lane:pid ~name:"unpark" ~ts_ns:t.clock.Pqueue.cell_time ();
+          Pqueue.push_cell t.queue t.clock (Resume k)
+        in
+        register resume)
+  in
+  let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
+    fun eff ->
+     match eff with
+     | Tick ->
+         (* scratch holds the duration, written by the performer. *)
+         t.scratch.Pqueue.cell_time <- t.clock.Pqueue.cell_time +. t.scratch.Pqueue.cell_time;
+         on_delay
+     | Delay d ->
+         t.scratch.Pqueue.cell_time <- t.clock.Pqueue.cell_time +. d;
+         on_delay
+     | Park register ->
+         t.pending_register <- register;
+         on_park
+     | _ -> None
   in
   match_with
     (fun () ->
@@ -106,7 +194,7 @@ let start t pid name body =
           let bt = Printexc.get_raw_backtrace () in
           finish ();
           Printexc.raise_with_backtrace e bt);
-      effc = handler.effc
+      effc
     }
 
 let spawn t ?name body =
@@ -114,35 +202,39 @@ let spawn t ?name body =
   t.next_pid <- pid + 1;
   let cap = Array.length t.parked in
   if pid >= cap then begin
-    let nparked = Array.make (max (pid + 1) (2 * cap)) None in
+    let ncap = max (pid + 1) (2 * cap) in
+    let nparked = Array.make ncap false in
     Array.blit t.parked 0 nparked 0 cap;
-    t.parked <- nparked
+    t.parked <- nparked;
+    let nnames = Array.make ncap "" in
+    Array.blit t.names 0 nnames 0 cap;
+    t.names <- nnames
   end;
-  let name = match name with Some n -> n | None -> Printf.sprintf "proc-%d" pid in
+  (match name with Some n -> t.names.(pid) <- n | None -> ());
   t.live <- t.live + 1;
   if Obs.tracing t.obs then begin
-    Obs.set_lane t.obs pid name;
-    Obs.instant t.obs ~lane:pid ~name:"spawn" ~ts_ns:t.clock ()
+    Obs.set_lane t.obs pid (name_of t pid);
+    Obs.instant t.obs ~lane:pid ~name:"spawn" ~ts_ns:t.clock.Pqueue.cell_time ()
   end;
-  at t t.clock (fun () -> start t pid name body);
+  Pqueue.push t.queue ~time:t.clock.Pqueue.cell_time (Thunk (fun () -> start t pid body));
   pid
 
 let run t =
   let rec loop () =
-    match Pqueue.pop t.queue with
-    | Some (time, thunk) ->
-        t.clock <- time;
-        thunk ();
-        loop ()
-    | None ->
-        if t.parked_count > 0 then begin
-          let names =
-            Array.fold_left
-              (fun acc name -> match name with Some n -> n :: acc | None -> acc)
-              [] t.parked
-          in
-          raise (Stalled (String.concat ", " (List.sort compare names)))
-        end
+    if Pqueue.is_empty t.queue then begin
+      if t.parked_count > 0 then begin
+        let names = ref [] in
+        Array.iteri (fun pid p -> if p then names := name_of t pid :: !names) t.parked;
+        raise (Stalled (String.concat ", " (List.sort compare !names)))
+      end
+    end
+    else begin
+      Pqueue.read_top_time t.queue t.clock;
+      (match Pqueue.pop_payload t.queue with
+      | Thunk f -> f ()
+      | Resume k -> Effect.Deep.continue k ());
+      loop ()
+    end
   in
   loop ()
 

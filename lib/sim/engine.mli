@@ -39,7 +39,10 @@ val now : t -> float
 val spawn : t -> ?name:string -> (unit -> unit) -> pid
 (** [spawn t f] registers [f] as a process starting at the current time.
     May be called before {!run} or from within a running process. If [f]
-    raises, the exception propagates out of {!run}. *)
+    raises, the exception propagates out of {!run}. [name] labels the
+    process in traces and error messages; when omitted, the default
+    ["proc-<pid>"] is only materialized if something actually needs it,
+    so unobserved runs never pay for the formatting. *)
 
 val at : t -> float -> (unit -> unit) -> unit
 (** [at t time thunk] schedules a bare callback (not a process: it must not
@@ -55,6 +58,23 @@ val live : t -> int
 val delay : float -> unit
 (** Advance this process's simulated time. Only valid inside a process
     spawned on some engine; raises [Effect.Unhandled] elsewhere. *)
+
+val delay_cell : t -> Pqueue.cell
+(** The engine's delay hand-off cell, for the {!delay_pending} fast
+    path. Fetch it once per engine and cache it. *)
+
+val delay_pending : t -> unit
+(** Exactly {!delay}, with the duration taken from the engine's
+    {!delay_cell} instead of a [float] argument: writing an all-float
+    cell field is an unboxed store, so the caller pays no float boxing
+    and no effect-payload allocation — this is the simulator's single
+    hottest operation. Write the duration, then perform:
+    [(delay_cell e).cell_time <- ns; delay_pending e]. When the woken
+    process would be the next event anyway (wake-up strictly earlier
+    than everything queued), the engine skips the suspend/resume round
+    trip entirely and just advances the clock — observationally
+    identical, far cheaper. Only valid inside a process spawned on
+    engine [e]. *)
 
 val park : ((unit -> unit) -> unit) -> unit
 (** [park register] suspends the calling process and passes its one-shot

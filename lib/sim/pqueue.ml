@@ -4,80 +4,203 @@
    4-ary rather than binary: the tree is half as deep, so a sift touches
    fewer (likely cache-missing) levels, and the four children of node i
    sit in adjacent slots 4i+1..4i+4 — one cache line in the common case.
-   Sifts move a hole instead of swapping, halving array writes. *)
+   Sifts move a hole instead of swapping, halving array writes.
 
-type 'a entry = { time : float; seq : int; payload : 'a }
+   The heap proper is two [int array]s — no pointers, no floats:
+
+   - [keys.(i)] is the event time as an order-preserving integer: the
+     IEEE-754 bits of the (non-negative) double with the top bit
+     flipped, so plain signed [<] gives unsigned — hence float — order.
+     For non-negative doubles the bit pattern is strictly monotone in
+     the value, so ordering and equality are preserved exactly.
+   - [packed.(i)] is [(seq lsl slot_bits) lor slot]. Sequence numbers
+     are unique, so comparing packed values compares sequence numbers,
+     and the slot index rides along for free.
+
+   Payloads never move: they sit in the [slots] arena at the index
+   carried by [packed], managed by a free-list stack. A sift therefore
+   moves raw immediates only — no allocation, no [caml_modify] write
+   barrier (the cost that sank the two rejected designs below), and a
+   push's only barriered store is parking the payload in its slot.
+
+   Rejected by measurement: an array of entry records (one barriered
+   pointer store per sift level, plus the float time boxed inside the
+   mixed record — a pointer chase per comparison) and a struct-of-arrays
+   float/int/payload layout (payload moves still hit the barrier, and a
+   sift drags three arrays through the cache). Sift loops live at top
+   level — a local [let rec] would close over the arrays and allocate
+   on every push/pop, and these run once per simulated event. *)
+
+(* 2^slot_bits bounds the number of *pending* events (the sequence
+   counter above it has 42 bits before an OCaml int overflows — engine
+   lifetimes are nowhere near either limit). *)
+let slot_bits = 20
+let slot_mask = (1 lsl slot_bits) - 1
+let max_pending = 1 lsl slot_bits
 
 type 'a t = {
-  mutable heap : 'a entry array;  (* heap.(0 .. size-1) is the live heap *)
+  mutable keys : int array;    (* heap: time keys, slots 0 .. size-1 live *)
+  mutable packed : int array;  (* heap: (seq lsl slot_bits) lor slot *)
+  mutable slots : 'a array;    (* payload arena, indexed by slot *)
+  mutable free : int array;    (* stack of free arena slots *)
+  mutable free_top : int;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+(* Caller-visible cell for passing times across module boundaries
+   without boxing a float argument or return: an all-float record field
+   is stored unboxed, and writing one allocates nothing. *)
+type cell = { mutable cell_time : float }
 
-let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let make_cell () = { cell_time = 0. }
 
-(* Place [entry] by walking the hole at [i] toward the root. *)
-let rec sift_up heap i entry =
-  if i = 0 then heap.(0) <- entry
+(* Inverse of the key mapping: undo the flip and clear bit 63 again
+   (set by sign extension when the low 62 bits encode a double
+   >= 2.0). Inlined at the hot [read_top_time] use — a float-returning
+   helper boxes at the call boundary. *)
+let time_of_key key =
+  Int64.float_of_bits (Int64.logand (Int64.of_int (key lxor min_int)) 0x7FFF_FFFF_FFFF_FFFFL)
+
+(* Initial arena-slot filler. Never compared or returned. *)
+let dummy : 'a. unit -> 'a = fun () -> Obj.magic 0
+
+let create () =
+  { keys = [||]; packed = [||]; slots = [||]; free = [||]; free_top = 0; size = 0; next_seq = 0 }
+
+(* Place (key, pk) by walking the hole at [i] toward the root. *)
+let rec sift_up (keys : int array) (packed : int array) i (key : int) (pk : int) =
+  if i = 0 then begin
+    Array.unsafe_set keys 0 key;
+    Array.unsafe_set packed 0 pk
+  end
   else begin
     let parent = (i - 1) lsr 2 in
-    let p = heap.(parent) in
-    if lt entry p then begin
-      heap.(i) <- p;
-      sift_up heap parent entry
+    let pkey = Array.unsafe_get keys parent in
+    if key < pkey || (key = pkey && pk < Array.unsafe_get packed parent) then begin
+      Array.unsafe_set keys i pkey;
+      Array.unsafe_set packed i (Array.unsafe_get packed parent);
+      sift_up keys packed parent key pk
     end
-    else heap.(i) <- entry
-  end
-
-(* Place [entry] by walking the hole at [i] toward the leaves. *)
-let sift_down heap size i entry =
-  let rec go i =
-    let c = (i lsl 2) + 1 in
-    if c >= size then heap.(i) <- entry
     else begin
-      let last = min (c + 3) (size - 1) in
-      let m = ref c in
-      for j = c + 1 to last do
-        if lt heap.(j) heap.(!m) then m := j
-      done;
-      let best = heap.(!m) in
-      if lt best entry then begin
-        heap.(i) <- best;
-        go !m
-      end
-      else heap.(i) <- entry
+      Array.unsafe_set keys i key;
+      Array.unsafe_set packed i pk
     end
-  in
-  go i
-
-let grow t entry =
-  let cap = Array.length t.heap in
-  if t.size = cap then begin
-    let ncap = max 16 (2 * cap) in
-    let nheap = Array.make ncap entry in
-    Array.blit t.heap 0 nheap 0 t.size;
-    t.heap <- nheap
   end
+
+(* Index of the smallest of the children [c .. last]. *)
+let rec min_child (keys : int array) (packed : int array) last m j =
+  if j > last then m
+  else begin
+    let jk = Array.unsafe_get keys j and mk = Array.unsafe_get keys m in
+    let m' =
+      if jk < mk || (jk = mk && Array.unsafe_get packed j < Array.unsafe_get packed m) then j
+      else m
+    in
+    min_child keys packed last m' (j + 1)
+  end
+
+(* Place (key, pk) by walking the hole at [i] toward the leaves. *)
+let rec sift_down (keys : int array) (packed : int array) size i (key : int) (pk : int) =
+  let c = (i lsl 2) + 1 in
+  if c >= size then begin
+    Array.unsafe_set keys i key;
+    Array.unsafe_set packed i pk
+  end
+  else begin
+    let last = let l = c + 3 in if l < size then l else size - 1 in
+    let m = min_child keys packed last c (c + 1) in
+    let bkey = Array.unsafe_get keys m in
+    if bkey < key || (bkey = key && Array.unsafe_get packed m < pk) then begin
+      Array.unsafe_set keys i bkey;
+      Array.unsafe_set packed i (Array.unsafe_get packed m);
+      sift_down keys packed size m key pk
+    end
+    else begin
+      Array.unsafe_set keys i key;
+      Array.unsafe_set packed i pk
+    end
+  end
+
+let grow t =
+  let cap = Array.length t.keys in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  if ncap > max_pending then invalid_arg "Pqueue: too many pending events";
+  let nkeys = Array.make ncap 0 in
+  let npacked = Array.make ncap 0 in
+  let nslots = Array.make ncap (dummy ()) in
+  let nfree = Array.make ncap 0 in
+  Array.blit t.keys 0 nkeys 0 t.size;
+  Array.blit t.packed 0 npacked 0 t.size;
+  Array.blit t.slots 0 nslots 0 cap;
+  (* All live entries sit in arena slots < cap (every slot below cap is
+     either live or on the free stack), so the new slots cap .. ncap-1
+     plus the surviving free stack form the new free list. *)
+  Array.blit t.free 0 nfree 0 t.free_top;
+  for s = cap to ncap - 1 do
+    nfree.(t.free_top + s - cap) <- s
+  done;
+  t.keys <- nkeys;
+  t.packed <- npacked;
+  t.slots <- nslots;
+  t.free <- nfree;
+  t.free_top <- t.free_top + (ncap - cap)
+
+(* The shared tail of push/push_cell, after the caller computed the
+   integer time key. *)
+let push_key t key payload =
+  if t.size = Array.length t.keys then grow t;
+  let ft = t.free_top - 1 in
+  t.free_top <- ft;
+  let slot = Array.unsafe_get t.free ft in
+  Array.unsafe_set t.slots slot payload;
+  let pk = (t.next_seq lsl slot_bits) lor slot in
+  t.next_seq <- t.next_seq + 1;
+  let i = t.size in
+  t.size <- i + 1;
+  sift_up t.keys t.packed i key pk
 
 let push t ~time payload =
-  let entry = { time; seq = t.next_seq; payload } in
-  t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  t.size <- t.size + 1;
-  sift_up t.heap (t.size - 1) entry
+  push_key t (Int64.to_int (Int64.bits_of_float time) lxor min_int) payload
+
+(* Same as {!push} with the time read out of [cell]: a float argument
+   to a non-inlined call is boxed by the caller, so the hottest push
+   path (one per simulated delay) hands the time over in an all-float
+   cell instead, and nothing here allocates. *)
+let push_cell t cell payload =
+  push_key t (Int64.to_int (Int64.bits_of_float cell.cell_time) lxor min_int) payload
+
+(* Remove the root and return its payload; [read_top_time] first if the
+   time is needed. The vacated arena slot is deliberately not cleared:
+   the write (and its barrier) costs more than it saves, and it only
+   retains the most recently popped payload per slot — bounded by the
+   arena capacity, and slots are reused on the next push. *)
+let pop_payload t =
+  if t.size = 0 then invalid_arg "Pqueue.pop_payload: empty";
+  let slot = Array.unsafe_get t.packed 0 land slot_mask in
+  let payload = Array.unsafe_get t.slots slot in
+  Array.unsafe_set t.free t.free_top slot;
+  t.free_top <- t.free_top + 1;
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then
+    sift_down t.keys t.packed n 0 (Array.unsafe_get t.keys n) (Array.unsafe_get t.packed n);
+  payload
+
+let read_top_time t cell =
+  if t.size = 0 then invalid_arg "Pqueue.read_top_time: empty";
+  let key = Array.unsafe_get t.keys 0 in
+  cell.cell_time <-
+    Int64.float_of_bits (Int64.logand (Int64.of_int (key lxor min_int)) 0x7FFF_FFFF_FFFF_FFFFL)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then sift_down t.heap t.size 0 t.heap.(t.size);
-    Some (top.time, top.payload)
+    let time = time_of_key t.keys.(0) in
+    Some (time, pop_payload t)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let peek_time t = if t.size = 0 then None else Some (time_of_key t.keys.(0))
 
 let length t = t.size
 

@@ -1,16 +1,53 @@
 (** Priority queue of timestamped events for the discrete-event engine.
 
     Orders by time; ties are broken by insertion sequence number so the
-    simulation is deterministic regardless of heap internals. *)
+    simulation is deterministic regardless of heap internals.
+
+    The heap proper holds only integers (times as order-preserving
+    int keys, sequence/slot packed into one word) while payloads sit
+    in a stationary slot arena: pushes allocate nothing and sifts move
+    raw immediates — no write barrier — the cheapest layout measured
+    for the engine's event loop. The
+    {!read_top_time}/{!pop_payload} pair pops without boxing the time;
+    {!pop} and {!peek_time} are option-returning conveniences for tests
+    and cold callers. *)
 
 type 'a t
 (** A mutable queue of ['a] events, each tagged with a time. *)
+
+type cell = { mutable cell_time : float }
+(** A single-float record: all-float records store their fields unboxed,
+    so writing one allocates nothing — which is why {!read_top_time}
+    writes into a caller-owned cell instead of returning a [float]
+    (a cross-module [float] return would box). *)
+
+val make_cell : unit -> cell
+(** A fresh cell at time 0. *)
 
 val create : unit -> 'a t
 (** An empty queue. *)
 
 val push : 'a t -> time:float -> 'a -> unit
-(** Insert an event at the given simulated time. *)
+(** Insert an event at the given simulated time. Allocates nothing
+    (beyond amortized capacity growth). Times must be non-negative and
+    finite (simulated timestamps); at most [2^20] events may be pending
+    at once. *)
+
+val push_cell : 'a t -> cell -> 'a -> unit
+(** [push t cell payload] with the time taken from [cell.cell_time]:
+    unlike a [float] argument (boxed by the caller at a non-inlined
+    call), the cell hand-off allocates nothing at all. For the
+    per-event hot path; [cell] is not retained. *)
+
+val read_top_time : 'a t -> cell -> unit
+(** Store the earliest event's time into [cell] without removing it.
+    @raise Invalid_argument if the queue is empty. *)
+
+val pop_payload : 'a t -> 'a
+(** Remove the earliest event (FIFO among equal times) and return its
+    payload. Does not allocate. The internal arena may keep the popped
+    payload reachable until its slot is reused by a later push.
+    @raise Invalid_argument if the queue is empty. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event (FIFO among equal times). *)

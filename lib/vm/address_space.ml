@@ -1,4 +1,5 @@
 module Int_map = Map.Make (Int)
+module Int_table = Mb_sim.Int_table
 
 type addr = int
 
@@ -20,7 +21,9 @@ type t = {
   config : config;
   mutable brk : addr;
   mutable regions : region Int_map.t;  (* keyed by region start address *)
-  resident : (int, unit) Hashtbl.t;    (* keyed by page index *)
+  resident : unit Int_table.t;         (* page-index set: probed once per
+                                          simulated page touch, so open
+                                          addressing, not Hashtbl buckets *)
   mutable minor_faults : int;
   mutable sbrk_calls : int;
   mutable mmap_calls : int;
@@ -42,7 +45,7 @@ let create config =
   { config;
     brk = config.brk_base;
     regions = Int_map.empty;
-    resident = Hashtbl.create 1024;
+    resident = Int_table.create ~initial:1024 ();
     minor_faults = 0;
     sbrk_calls = 0;
     mmap_calls = 0;
@@ -88,7 +91,7 @@ let sbrk t delta =
       let p = t.config.page_size in
       let first = (new_brk + p - 1) / p and last = (old_brk + p - 1) / p in
       for page = first to last - 1 do
-        if Hashtbl.mem t.resident page then Hashtbl.remove t.resident page
+        Int_table.remove t.resident page
       done
     end;
     Some old_brk
@@ -138,7 +141,7 @@ let munmap t addr ~len =
   t.regions <- Int_map.remove addr t.regions;
   let p = t.config.page_size in
   for page = addr / p to (addr + len - 1) / p do
-    if Hashtbl.mem t.resident page then Hashtbl.remove t.resident page
+    Int_table.remove t.resident page
   done
 
 let map_fixed t addr ~len =
@@ -154,27 +157,36 @@ let is_mapped t addr =
   | Some (start, r) -> addr < start + r.len
   | None -> false
 
+(* Page walk for [touch], as a top-level function (a local [rec] would
+   be a closure allocation per call, and touch runs on every simulated
+   memory access). *)
+let rec touch_pages t addr p last page faults =
+  if page > last then faults
+  else if Int_table.mem t.resident page then touch_pages t addr p last (page + 1) faults
+  else begin
+    (* Check the first unmapped byte of the page range we access. *)
+    let probe = if addr > page * p then addr else page * p in
+    if not (is_mapped t probe) then raise (Segfault probe);
+    Int_table.set t.resident page ();
+    t.minor_faults <- t.minor_faults + 1;
+    touch_pages t addr p last (page + 1) (faults + 1)
+  end
+
 let touch t addr ~len =
   if len <= 0 then invalid_arg "Address_space.touch: len <= 0";
   let p = t.config.page_size in
-  let faults = ref 0 in
-  for page = addr / p to (addr + len - 1) / p do
-    if not (Hashtbl.mem t.resident page) then begin
-      (* Check the first unmapped byte of the page range we access. *)
-      let probe = max addr (page * p) in
-      if not (is_mapped t probe) then raise (Segfault probe);
-      Hashtbl.replace t.resident page ();
-      incr faults;
-      t.minor_faults <- t.minor_faults + 1
-    end
-  done;
-  !faults
+  let first = addr / p in
+  let last = (addr + len - 1) / p in
+  (* Fast path: the access stays on one already-resident page — the
+     overwhelmingly common case once a benchmark's working set is warm. *)
+  if first = last && Int_table.mem t.resident first then 0
+  else touch_pages t addr p last first 0
 
-let is_resident t addr = Hashtbl.mem t.resident (addr / t.config.page_size)
+let is_resident t addr = Int_table.mem t.resident (addr / t.config.page_size)
 
 let minor_faults t = t.minor_faults
 
-let resident_pages t = Hashtbl.length t.resident
+let resident_pages t = Int_table.length t.resident
 
 let mapped_bytes t =
   let region_bytes = Int_map.fold (fun _ r acc -> acc + r.len) t.regions 0 in

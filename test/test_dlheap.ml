@@ -259,8 +259,63 @@ let prop_usable_size_covers_request =
           Dlheap.free heap ctx u);
       !out)
 
+(* Golden address stream: the digest below was captured from this exact
+   op sequence while the heap still indexed chunks with [Hashtbl], i.e.
+   before the open-addressing [Int_table] swap. The allocator's
+   placement decisions never consult index iteration order, so the
+   malloc/free address stream must be bit-for-bit unchanged by the swap
+   (and by any future index change). *)
+let test_index_swap_stream () =
+  let stream = Buffer.create 256 in
+  let final_live = ref (-1) in
+  with_heap (fun heap _ ctx _ ->
+      let lcg = ref 12345 in
+      let next_size () =
+        lcg := ((!lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+        1 + (!lcg mod 3000)
+      in
+      let live = ref [] in
+      for i = 0 to 199 do
+        if i mod 3 <> 2 || !live = [] then begin
+          let size = next_size () in
+          match Dlheap.malloc heap ctx size with
+          | Some u ->
+              Buffer.add_string stream (Printf.sprintf "a%x;" u);
+              live := u :: !live
+          | None -> Buffer.add_string stream "a!;"
+        end
+        else begin
+          match !live with
+          | u :: rest ->
+              Dlheap.free heap ctx u;
+              Buffer.add_string stream (Printf.sprintf "f%x;" u);
+              live := rest
+          | [] -> ()
+        end
+      done;
+      (* One mmapped chunk through the threshold path, so the stream also
+         pins the mm_chunks index behaviour. *)
+      (match Dlheap.malloc heap ctx 200_000 with
+      | Some u ->
+          Buffer.add_string stream (Printf.sprintf "a%x;" u);
+          Dlheap.free heap ctx u;
+          Buffer.add_string stream (Printf.sprintf "f%x;" u)
+      | None -> Buffer.add_string stream "a!;");
+      List.iter
+        (fun u ->
+          Dlheap.free heap ctx u;
+          Buffer.add_string stream (Printf.sprintf "f%x;" u))
+        !live;
+      final_live := Dlheap.live_chunks heap);
+  let s = Buffer.contents stream in
+  Alcotest.(check int) "stream length" 2432 (String.length s);
+  Alcotest.(check string) "stream digest" "4aa7f5505159bdae6f3e0862a4b99a17"
+    (Digest.to_hex (Digest.string s));
+  Alcotest.(check int) "all freed" 0 !final_live
+
 let suite =
   [ Alcotest.test_case "basic alloc/free" `Quick test_basic_alloc_free;
+    Alcotest.test_case "index swap keeps address stream" `Quick test_index_swap_stream;
     Alcotest.test_case "exact reuse" `Quick test_exact_reuse;
     Alcotest.test_case "split and remainder" `Quick test_split_and_remainder;
     Alcotest.test_case "coalesce three-way" `Quick test_coalesce_three_way;
