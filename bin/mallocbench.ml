@@ -72,18 +72,32 @@ let gc_stats_arg =
                  $(b,--trace) this never turns observation on, so it measures the \
                  undisturbed hot path.")
 
-(* Turn observation on for the duration of [f], then drain the collected
-   recorders into the requested sinks. With neither flag, [f] runs on the
-   disabled path untouched; --gc-stats only snapshots Gc counters around
-   [f], so it composes with either path without perturbing it. *)
-let with_observation ~trace ~metrics ~gc_stats f =
+let check_arg =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:"Arm the dynamic correctness checker for the simulated runs: Eraser-style \
+                 lockset race detection, allocation sanitizing (double-free, \
+                 use-after-free, out-of-bounds) and structured deadlock diagnosis. \
+                 Findings are printed on $(b,check:)-prefixed lines and a non-empty \
+                 report exits with status 3. Checking consumes no simulated time, so \
+                 all other output is identical to an unchecked run.")
+
+(* Turn observation/checking on for the duration of [f], then drain the
+   collected recorders and checkers into the requested sinks. With no
+   flag, [f] runs on the disabled path untouched; --gc-stats only
+   snapshots Gc counters around [f], so it composes with either path
+   without perturbing it. *)
+let with_observation ~trace ~metrics ~gc_stats ?(check = false) f =
   let gc_before = if gc_stats then Some (Gc.quick_stat ()) else None in
+  let check_failed = ref false in
   let result =
-    if trace = None && not metrics then f ()
+    if trace = None && not metrics && not check then f ()
     else begin
       Core.Obs.Ctl.set { Core.Obs.Ctl.trace = trace <> None; metrics };
+      Core.Check.Ctl.arm check;
       let finish () =
         Core.Obs.Ctl.set Core.Obs.Ctl.off;
+        Core.Check.Ctl.arm false;
         let runs = Core.Obs.Collect.drain () in
         (match trace with
         | Some path ->
@@ -92,7 +106,26 @@ let with_observation ~trace ~metrics ~gc_stats f =
               (Core.Obs.Trace_json.event_total runs)
               (List.length runs) path
         | None -> ());
-        if metrics then Core.Metrics.print runs
+        if metrics then Core.Metrics.print runs;
+        if check then begin
+          let checked = Core.Check.Collect.drain () in
+          let total =
+            List.fold_left
+              (fun acc (_, c) -> acc + Core.Check.Checker.finding_count c)
+              0 checked
+          in
+          List.iter
+            (fun (label, c) ->
+              List.iter
+                (fun (fd : Core.Check.Checker.finding) ->
+                  Printf.printf "check: [%s] %s: %s\n"
+                    (Core.Check.Checker.kind_label fd.Core.Check.Checker.kind)
+                    label fd.Core.Check.Checker.message)
+                (Core.Check.Checker.findings c))
+            checked;
+          Printf.printf "check: %d finding(s) in %d checked run(s)\n" total (List.length checked);
+          if total > 0 then check_failed := true
+        end
       in
       Fun.protect ~finally:finish f
     end
@@ -100,13 +133,14 @@ let with_observation ~trace ~metrics ~gc_stats f =
   (match gc_before with
   | Some before -> Core.Metrics.print_gc ~before ~after:(Gc.quick_stat ())
   | None -> ());
+  if !check_failed then Stdlib.exit 3;
   result
 
 (* --- bench1 ----------------------------------------------------------- *)
 
 let bench1_cmd =
-  let run machine factory seed workers iterations size processes trace metrics gc_stats =
-    with_observation ~trace ~metrics ~gc_stats @@ fun () ->
+  let run machine factory seed workers iterations size processes trace metrics gc_stats check =
+    with_observation ~trace ~metrics ~gc_stats ~check @@ fun () ->
     let params =
       { Core.Bench1.default with
         Core.Bench1.machine;
@@ -135,13 +169,13 @@ let bench1_cmd =
   Cmd.v
     (Cmd.info "bench1" ~doc:"Multithread scalability: timed malloc/free loops")
     Term.(const run $ machine_arg $ factory_arg $ seed_arg $ threads_arg 2 $ iterations $ size
-          $ processes $ trace_arg $ metrics_arg $ gc_stats_arg)
+          $ processes $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg)
 
 (* --- bench2 ----------------------------------------------------------- *)
 
 let bench2_cmd =
-  let run machine factory seed threads rounds objects replacements size trace metrics gc_stats =
-    with_observation ~trace ~metrics ~gc_stats @@ fun () ->
+  let run machine factory seed threads rounds objects replacements size trace metrics gc_stats check =
+    with_observation ~trace ~metrics ~gc_stats ~check @@ fun () ->
     let params =
       { Core.Bench2.machine;
         factory;
@@ -173,13 +207,13 @@ let bench2_cmd =
   Cmd.v
     (Cmd.info "bench2" ~doc:"Heap leakage: minor faults under cross-thread frees")
     Term.(const run $ machine_arg2 $ factory_arg $ seed_arg $ threads_arg 3 $ rounds $ objects
-          $ replacements $ size $ trace_arg $ metrics_arg $ gc_stats_arg)
+          $ replacements $ size $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg)
 
 (* --- bench3 ----------------------------------------------------------- *)
 
 let bench3_cmd =
-  let run machine factory seed threads size writes aligned trace metrics gc_stats =
-    with_observation ~trace ~metrics ~gc_stats @@ fun () ->
+  let run machine factory seed threads size writes aligned trace metrics gc_stats check =
+    with_observation ~trace ~metrics ~gc_stats ~check @@ fun () ->
     let params =
       { Core.Bench3.default with
         Core.Bench3.machine;
@@ -210,13 +244,13 @@ let bench3_cmd =
   Cmd.v
     (Cmd.info "bench3" ~doc:"False cache-line sharing between writer threads")
     Term.(const run $ machine_arg3 $ factory_arg $ seed_arg $ threads_arg 2 $ size $ writes
-          $ aligned $ trace_arg $ metrics_arg $ gc_stats_arg)
+          $ aligned $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg)
 
 (* --- server ------------------------------------------------------------ *)
 
 let server_cmd =
-  let run machine factory seed threads requests latency trace metrics gc_stats =
-    with_observation ~trace ~metrics ~gc_stats @@ fun () ->
+  let run machine factory seed threads requests latency trace metrics gc_stats check =
+    with_observation ~trace ~metrics ~gc_stats ~check @@ fun () ->
     let params =
       { Core.Server.default with
         Core.Server.machine;
@@ -249,16 +283,16 @@ let server_cmd =
   Cmd.v
     (Cmd.info "server" ~doc:"Network-server workload (iPlanet-style)")
     Term.(const run $ machine_arg4 $ factory_arg $ seed_arg $ threads_arg 4 $ requests $ latency
-          $ trace_arg $ metrics_arg $ gc_stats_arg)
+          $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg)
 
 (* --- experiment --------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run ids quick seed csv_dir jobs trace metrics gc_stats =
+  let run ids quick seed csv_dir jobs trace metrics gc_stats check =
     let opts = { Core.Exp_common.quick; seed } in
     let only = match ids with [] -> None | ids -> Some ids in
     let outcomes =
-      with_observation ~trace ~metrics ~gc_stats (fun () ->
+      with_observation ~trace ~metrics ~gc_stats ~check (fun () ->
           Core.Experiments.run_all ?jobs ?only opts)
     in
     (match csv_dir with
@@ -299,7 +333,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
-    Term.(const run $ ids $ quick $ seed_arg $ csv_dir $ jobs $ trace_arg $ metrics_arg $ gc_stats_arg)
+    Term.(const run $ ids $ quick $ seed_arg $ csv_dir $ jobs $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg)
 
 (* --- list ---------------------------------------------------------------- *)
 

@@ -1,4 +1,5 @@
 module M = Mb_machine.Machine
+module Check = Mb_check.Checker
 
 type t = {
   name : string;
@@ -27,25 +28,6 @@ let calloc t ctx ~count ~size =
   M.touch_range ctx user ~len:bytes;
   user
 
-let realloc t ctx addr new_size =
-  if new_size < 0 then invalid_arg "Allocator.realloc: negative size";
-  if addr = 0 then if new_size = 0 then 0 else t.malloc ctx new_size
-  else if new_size = 0 then begin
-    t.free ctx addr;
-    0
-  end
-  else begin
-    let old_usable = t.usable_size addr in
-    if old_usable >= new_size then addr  (* shrink or fitting growth: in place *)
-    else begin
-      let fresh = t.malloc ctx new_size in
-      M.work ctx (copy_cost_cycles old_usable);
-      M.touch_range ctx fresh ~len:old_usable;
-      t.free ctx addr;
-      fresh
-    end
-  end
-
 let memalign t ctx ~alignment size =
   if alignment <= 0 || alignment land (alignment - 1) <> 0 then
     invalid_arg "Allocator.memalign: alignment not a power of two";
@@ -60,3 +42,74 @@ let free_aligned t ctx user =
       Hashtbl.remove t.origins user;
       t.free ctx raw
   | None -> t.free ctx user
+
+let realloc t ctx addr new_size =
+  if new_size < 0 then invalid_arg "Allocator.realloc: negative size";
+  if addr = 0 then if new_size = 0 then 0 else t.malloc ctx new_size
+  else if new_size = 0 then begin
+    free_aligned t ctx addr;
+    0
+  end
+  else begin
+    (* [addr] may be a memalign'd block: size and free the raw chunk it
+       was carved from, not the aligned user address — the latter is not
+       a chunk boundary and freeing it corrupts the simulated heap. *)
+    let raw = match Hashtbl.find_opt t.origins addr with Some r -> r | None -> addr in
+    let old_usable = t.usable_size raw - (addr - raw) in
+    if old_usable >= new_size then addr  (* shrink or fitting growth: in place *)
+    else begin
+      let fresh = t.malloc ctx new_size in
+      M.work ctx (copy_cost_cycles old_usable);
+      M.touch_range ctx fresh ~len:old_usable;
+      if raw <> addr then Hashtbl.remove t.origins addr;
+      t.free ctx raw;
+      fresh
+    end
+  end
+
+let instrument t =
+  (* Origins-aware free: a raw [free] of a memalign'd user address must
+     release the chunk it was carved from, exactly as {!free_aligned}
+     does — without this, workloads that mix memalign blocks into a
+     plain free path corrupt the simulated heap. *)
+  let free_raw ctx user =
+    match Hashtbl.find_opt t.origins user with
+    | Some raw ->
+        Hashtbl.remove t.origins user;
+        t.free ctx raw
+    | None -> t.free ctx user
+  in
+  let malloc ctx size =
+    let chk = M.ctx_check ctx in
+    if not (Check.armed chk) then t.malloc ctx size
+    else begin
+      let tid = M.tid ctx in
+      (* Allocator-internal accesses (headers, arena metadata) migrate
+         between locks by design; bracket them out of the detectors. *)
+      Check.enter_runtime chk ~tid;
+      let user =
+        Fun.protect
+          ~finally:(fun () -> Check.exit_runtime chk ~tid)
+          (fun () -> t.malloc ctx size)
+      in
+      Check.on_alloc chk ~tid ~asid:(M.asid ctx) ~addr:user ~len:(t.usable_size user);
+      user
+    end
+  in
+  let free ctx user =
+    let chk = M.ctx_check ctx in
+    if not (Check.armed chk) then free_raw ctx user
+    else begin
+      let tid = M.tid ctx in
+      (* A double-free is recorded and suppressed (on_free returns
+         false), the way a hardened allocator refuses: the run survives
+         to report every finding instead of dying on the first. *)
+      if Check.on_free chk ~tid ~asid:(M.asid ctx) ~addr:user then begin
+        Check.enter_runtime chk ~tid;
+        Fun.protect
+          ~finally:(fun () -> Check.exit_runtime chk ~tid)
+          (fun () -> free_raw ctx user)
+      end
+    end
+  in
+  { t with malloc; free }

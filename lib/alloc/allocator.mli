@@ -38,6 +38,23 @@ val out_of_memory : string -> 'a
 (** Raise [Out_of_memory]-style failure with context (we use [Failure]
     carrying the allocator name so tests can distinguish sources). *)
 
+val instrument : t -> t
+(** [instrument t] is [t] with [malloc]/[free] wrapped for correctness:
+
+    - [free] routes through the {!field-origins} table, so a raw [free]
+      of a {!memalign}'d user address releases the chunk it was carved
+      from instead of corrupting the heap;
+    - when the machine's {!Mb_check.Checker.t} is armed, block
+      lifetimes are reported to it ([on_alloc]/[on_free]) and
+      allocator-internal accesses run inside runtime-suppression
+      brackets; a double-free is recorded as a finding and suppressed
+      rather than crashing the run.
+
+    Every concrete allocator constructor applies this to what it
+    returns. The wrapper shares the inner allocator's state (stats,
+    origins, validate), and with checking off it adds one hashtable
+    lookup per free and nothing per malloc. *)
+
 (** {1 Derived entry points}
 
     The rest of the C allocation API, built portably on [malloc]/[free]/
@@ -54,7 +71,10 @@ val realloc : t -> Mb_machine.Machine.ctx -> int -> int -> int
 (** [realloc t ctx addr new_size] grows or shrinks a block. Returns the
     (possibly moved) address; shrinking and fitting growth are in-place,
     a real move copies the old contents at memcpy cost. [realloc t ctx
-    addr 0] frees and returns 0; [realloc t ctx 0 n] is [malloc n]. *)
+    addr 0] frees and returns 0; [realloc t ctx 0 n] is [malloc n].
+    [addr] may be a {!memalign}'d block: the raw chunk is sized and
+    freed through the {!field-origins} table (and the origin entry
+    retired when the block moves). *)
 
 val memalign : t -> Mb_machine.Machine.ctx -> alignment:int -> int -> int
 (** [memalign t ctx ~alignment size] returns a block aligned to

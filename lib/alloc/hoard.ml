@@ -274,6 +274,7 @@ let transfers_to_global t = t.transfers
 let held_bytes t = Array.fold_left (fun acc h -> acc + h.held) 0 t.heaps
 
 let allocator t =
+  Allocator.instrument
   { Allocator.name = "hoard";
     malloc = (fun ctx size -> malloc t ctx size);
     free = (fun ctx user -> free t ctx user);

@@ -140,6 +140,7 @@ let cached_objects t =
 let global_lock_acquisitions t = M.Mutex.acquisitions t.gmutex
 
 let allocator t =
+  Allocator.instrument
   { Allocator.name = "perthread";
     malloc = (fun ctx size -> malloc t ctx size);
     free = (fun ctx user -> free t ctx user);

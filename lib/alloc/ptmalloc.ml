@@ -309,6 +309,7 @@ let mallinfo t =
   }
 
 let allocator t =
+  Allocator.instrument
   { Allocator.name = "ptmalloc";
     malloc = (fun ctx size -> malloc t ctx size);
     free = (fun ctx user -> free t ctx user);

@@ -36,6 +36,7 @@ let malloc t ctx size =
 let free t ctx user = with_lock t ctx (fun () -> Dlheap.free t.heap ctx user)
 
 let allocator t =
+  Allocator.instrument
   { Allocator.name = "serial";
     malloc = (fun ctx size -> malloc t ctx size);
     free = (fun ctx user -> free t ctx user);

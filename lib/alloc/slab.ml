@@ -194,6 +194,7 @@ let slab_count t = Hashtbl.fold (fun _ c acc -> acc + c.nslabs) t.caches 0
 let cache_lock_contentions t = Hashtbl.fold (fun _ c acc -> acc + M.Mutex.contentions c.lock) t.caches 0
 
 let allocator t =
+  Allocator.instrument
   { Allocator.name = "slab";
     malloc = (fun ctx size -> malloc t ctx size);
     free = (fun ctx user -> free t ctx user);

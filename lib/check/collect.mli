@@ -1,0 +1,23 @@
+(** Cross-run collection of completed checkers.
+
+    Workload drivers publish their machine's checker here when a run
+    finishes; after all experiments are joined, the CLI drains the
+    registry once to build the findings report. Publication happens at
+    most once per simulated machine (cold path), so the mutex guarding
+    the registry is uncontended in practice — the hot paths stay inside
+    per-machine checkers and need no locking. *)
+
+val publish : label:string -> Checker.t -> unit
+(** [publish ~label c] registers a completed checker under a
+    human-readable run label (workload name plus distinguishing
+    parameters). Disabled checkers are ignored, so callers may publish
+    unconditionally. Thread/domain-safe. *)
+
+val drain : unit -> (string * Checker.t) list
+(** Remove and return everything published so far, sorted by label
+    (ties keep arrival order), making the findings report deterministic
+    for a deterministic label set regardless of which pool domain ran
+    which task. *)
+
+val pending : unit -> int
+(** Number of published, not-yet-drained checkers. *)

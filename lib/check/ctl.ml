@@ -1,0 +1,7 @@
+let state = Atomic.make false
+
+let arm on = Atomic.set state on
+
+let armed () = Atomic.get state
+
+let checker () = if Atomic.get state then Checker.create () else Checker.null

@@ -1,0 +1,22 @@
+(** Process-wide checking control.
+
+    The CLI (or a test) arms checking {e before} any machine is built;
+    {!Mb_machine.Machine.create} then asks {!checker} for a fresh
+    per-machine {!Checker.t}. With checking off (the default),
+    {!checker} returns {!Checker.null} and every instrumentation site
+    stays on the branch-cheap disabled path.
+
+    The state is one atomic boolean, set once per process invocation
+    before worker domains spawn, so cross-domain reads are safe. A
+    stale read in a racing domain can only yield a disabled checker —
+    never a perturbed simulation. *)
+
+val arm : bool -> unit
+(** Turn checking on or off process-wide. Call before starting the
+    runs to be checked. *)
+
+val armed : unit -> bool
+
+val checker : unit -> Checker.t
+(** A checker for one new machine: {!Checker.null} when checking is
+    off, otherwise a fresh armed checker. *)

@@ -49,6 +49,7 @@ module Larson = Mb_workload.Larson
 
 (* Observability. *)
 module Obs = Mb_obs
+module Check = Mb_check
 module Metrics = Mb_report.Metrics
 
 (* Support. *)

@@ -3,6 +3,7 @@ module Coherence = Mb_cache.Coherence
 module As = Mb_vm.Address_space
 module Rng = Mb_prng.Rng
 module Obs = Mb_obs.Recorder
+module Check = Mb_check.Checker
 
 type config = {
   cpus : int;
@@ -70,6 +71,12 @@ type t = {
   mutable bkl : mutex option;  (* the 2.2-era big kernel lock guarding VM
                                   syscalls (paper section 3); lazy *)
   obs : Obs.t;
+  check : Check.t;
+  check_on : bool;  (* Check.armed check, cached: the memory hot paths
+                       branch on an immutable bool field instead of a
+                       load through the checker record *)
+  mutable next_mid : int;  (* machine-unique mutex ids for the checker's
+                              lockset bookkeeping *)
   mutable mutexes : mutex list;  (* every mutex ever created on this
                                     machine, so the end-of-run metrics
                                     flush can report per-lock counts *)
@@ -82,6 +89,10 @@ and cpu = { cpu_id : int; mutable current : thread option }
 
 and mutex = {
   mname : string;
+  mid : int;  (* machine-unique id, the checker's lockset element *)
+  mblocked : string;  (* "blocked on mutex <name>", precomputed so the
+                         contended path's Engine.set_wait concatenates
+                         nothing *)
   mm : t;
   heap_lock : bool;  (* allocator heap lock, for the aggregated
                         contended-vs-uncontended metrics split *)
@@ -155,11 +166,12 @@ let no_register : (unit -> unit) -> unit = fun _ -> ()
 
 let thread_stack_bytes = 16 * 1024
 
-let create ?(seed = 42) ?obs (config : config) =
+let create ?(seed = 42) ?obs ?check (config : config) =
   if config.cpus <= 0 then invalid_arg "Machine.create: cpus <= 0";
   if config.mhz <= 0. then invalid_arg "Machine.create: mhz <= 0";
   let cycle_ns = 1000. /. config.mhz in
   let obs = match obs with Some r -> r | None -> Mb_obs.Ctl.recorder () in
+  let check = match check with Some c -> c | None -> Mb_check.Ctl.checker () in
   let engine = Engine.create ~obs () in
   { config;
     engine;
@@ -176,6 +188,9 @@ let create ?(seed = 42) ?obs (config : config) =
     mh = { busy = 0. };
     bkl = None;
     obs;
+    check;
+    check_on = Check.armed check;
+    next_mid = 0;
     mutexes = [];
     sbrk_calls = 0;
     mmap_calls = 0;
@@ -316,6 +331,7 @@ let make_ready m th =
 let preempt m th =
   th.state <- Ready;
   Queue.push th m.ready;
+  Engine.set_wait m.engine th.lane ~why:"waiting for a cpu" ~waits_on:(-1);
   release_cpu m th;
   park_for_cpu th
 
@@ -384,6 +400,7 @@ let acquire_cpu_initial m th =
   | None ->
       th.state <- Ready;
       Queue.push th m.ready;
+      Engine.set_wait m.engine th.lane ~why:"waiting for a cpu" ~waits_on:(-1);
       park_for_cpu th
 
 (* Integer-cycle entry point for the fixed-cost callers (lock ops,
@@ -413,8 +430,12 @@ let work_exact_cycles th cycles =
 (* --- mutex mechanics (shared by Mutex and the kernel lock) ---------- *)
 
 let mutex_make ?(heap = false) mm mname =
+  let mid = mm.next_mid in
+  mm.next_mid <- mid + 1;
   let mu =
     { mname;
+      mid;
+      mblocked = "blocked on mutex " ^ mname;
       mm;
       heap_lock = heap;
       owner = None;
@@ -426,6 +447,13 @@ let mutex_make ?(heap = false) mm mname =
   mm.mutexes <- mu :: mm.mutexes;
   mu
 
+let note_acquired mu th =
+  if mu.mm.check_on then
+    Check.lock_acquired mu.mm.check ~tid:th.tid ~mid:mu.mid ~name:mu.mname
+
+let note_released mu th =
+  if mu.mm.check_on then Check.lock_released mu.mm.check ~tid:th.tid ~mid:mu.mid
+
 let lock_op_cost th =
   let cfg = th.tproc.pm.config in
   if th.tproc.ever_multi then cfg.atomic_cycles else cfg.stub_lock_cycles
@@ -436,6 +464,7 @@ let mutex_try_lock mu th =
   | None ->
       mu.owner <- Some th;
       mu.acquisitions <- mu.acquisitions + 1;
+      note_acquired mu th;
       true
   | Some _ ->
       mu.contentions <- mu.contentions + 1;
@@ -466,21 +495,25 @@ let rec mutex_lock_slow mu th =
       | None ->
           mu.owner <- Some th;
           th.spin_wins <- th.spin_wins + 1;
-          mu.acquisitions <- mu.acquisitions + 1
+          mu.acquisitions <- mu.acquisitions + 1;
+          note_acquired mu th
       | Some _ -> mutex_lock_slow mu th
     end
-  | Some _ ->
+  | Some owner ->
       th.blocks <- th.blocks + 1;
       th.state <- Blocked;
       if Obs.tracing m.obs then
         Obs.instant m.obs ~lane:th.lane ~name:("block " ^ mu.mname)
           ~ts_ns:(Engine.now m.engine) ();
+      Engine.set_wait m.engine th.lane ~why:mu.mblocked ~waits_on:owner.lane;
       Queue.push th mu.waiters;
       release_cpu m th;
       park_for_cpu th;
-      if m.config.mutex_handoff then
+      if m.config.mutex_handoff then begin
         (* Woken by direct handoff: we already own the mutex. *)
-        mu.acquisitions <- mu.acquisitions + 1
+        mu.acquisitions <- mu.acquisitions + 1;
+        note_acquired mu th
+      end
       else begin
         (* Futex-style: we were merely woken; the lock may already be
            gone to a barging spinner. Re-compete. *)
@@ -488,7 +521,8 @@ let rec mutex_lock_slow mu th =
         match mu.owner with
         | None ->
             mu.owner <- Some th;
-            mu.acquisitions <- mu.acquisitions + 1
+            mu.acquisitions <- mu.acquisitions + 1;
+            note_acquired mu th
         | Some _ -> mutex_lock_slow mu th
       end
 
@@ -497,7 +531,8 @@ let mutex_lock mu th =
   match mu.owner with
   | None ->
       mu.owner <- Some th;
-      mu.acquisitions <- mu.acquisitions + 1
+      mu.acquisitions <- mu.acquisitions + 1;
+      note_acquired mu th
   | Some _ ->
       mu.contentions <- mu.contentions + 1;
       mutex_lock_slow mu th
@@ -506,6 +541,7 @@ let mutex_unlock mu th =
   (match mu.owner with
   | Some cur when cur == th -> ()
   | Some _ | None -> invalid_arg "Mutex.unlock: not the owner");
+  note_released mu th;
   work_exact_cycles th (lock_op_cost th);
   match Queue.take_opt mu.waiters with
   | Some w ->
@@ -661,6 +697,8 @@ let join th target =
     let m = th.tproc.pm in
     th.state <- Blocked;
     Queue.push th target.joiners;
+    Engine.set_wait m.engine th.lane ~why:("joining " ^ thread_name target)
+      ~waits_on:target.lane;
     release_cpu m th;
     park_for_cpu th
   end
@@ -681,6 +719,12 @@ let ctx_rng th = th.trng
 
 let ctx_obs th = th.tproc.pm.obs
 
+let checker t = t.check
+
+let ctx_check th = th.tproc.pm.check
+
+let asid th = th.tproc.pasid
+
 let lane th = th.lane
 
 (* --- memory ------------------------------------------------------------ *)
@@ -691,21 +735,34 @@ let lane th = th.lane
 let phys th addr = (th.tproc.pasid lsl 40) lor addr
 
 let read_mem th addr =
+  let m = th.tproc.pm in
+  if m.check_on then
+    Check.on_access m.check ~tid:th.tid ~asid:th.tproc.pasid ~addr ~write:false;
   page_in th addr ~len:1;
-  let cost = Coherence.read th.tproc.pm.cache ~cpu:th.on_cpu (phys th addr) in
+  let cost = Coherence.read m.cache ~cpu:th.on_cpu (phys th addr) in
   work_exact_cycles th cost
 
 let write_mem th addr =
+  let m = th.tproc.pm in
+  if m.check_on then
+    Check.on_access m.check ~tid:th.tid ~asid:th.tproc.pasid ~addr ~write:true;
   page_in th addr ~len:1;
-  let cost = Coherence.write th.tproc.pm.cache ~cpu:th.on_cpu (phys th addr) in
+  let cost = Coherence.write m.cache ~cpu:th.on_cpu (phys th addr) in
   work_exact_cycles th cost
 
 let write_mem_repeated th addr ~count =
+  let m = th.tproc.pm in
+  if m.check_on then
+    Check.on_access m.check ~tid:th.tid ~asid:th.tproc.pasid ~addr ~write:true;
   page_in th addr ~len:1;
-  let cost = Coherence.write_repeated th.tproc.pm.cache ~cpu:th.on_cpu (phys th addr) ~count in
+  let cost = Coherence.write_repeated m.cache ~cpu:th.on_cpu (phys th addr) ~count in
   work_exact_cycles th cost
 
-let touch_range th addr ~len = page_in th addr ~len
+let touch_range th addr ~len =
+  let m = th.tproc.pm in
+  if m.check_on then
+    Check.on_range m.check ~tid:th.tid ~asid:th.tproc.pasid ~addr ~len;
+  page_in th addr ~len
 
 (* VM syscalls: kernel entry cost, plus the big kernel lock when the
    config models a pre-2.3.5 kernel (paper section 3). *)
@@ -754,6 +811,7 @@ module Latch = struct
     if not l.set then begin
       th.state <- Blocked;
       Queue.push th l.waiters;
+      Engine.set_wait l.lm.engine th.lane ~why:"waiting on a latch" ~waits_on:(-1);
       release_cpu l.lm th;
       park_for_cpu th
     end

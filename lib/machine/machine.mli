@@ -51,11 +51,15 @@ val default_config : config
 (** A generic 2-CPU machine; presets for the paper's hosts live in
     {!Configs}. *)
 
-val create : ?seed:int -> ?obs:Mb_obs.Recorder.t -> config -> t
+val create :
+  ?seed:int -> ?obs:Mb_obs.Recorder.t -> ?check:Mb_check.Checker.t -> config -> t
 (** Fresh machine. Equal seeds and programs give identical runs.
     [obs] is the machine's observation recorder; it defaults to
     {!Mb_obs.Ctl.recorder}[ ()], i.e. disabled unless the process-wide
-    observation mode is on. *)
+    observation mode is on. [check] is the machine's dynamic
+    correctness checker and likewise defaults to
+    {!Mb_check.Ctl.checker}[ ()]. Neither consumes simulated time, so
+    observed/checked runs compute the same results as bare ones. *)
 
 val config : t -> config
 
@@ -70,6 +74,12 @@ val observer : t -> Mb_obs.Recorder.t
 (** This machine's observation recorder ({!Mb_obs.Recorder.null} when
     the run is unobserved). Workload drivers read it after {!run} to
     publish the run's counters and trace. *)
+
+val checker : t -> Mb_check.Checker.t
+(** This machine's dynamic checker ({!Mb_check.Checker.null} when
+    checking is off). The machine feeds it mutex hold-set transitions
+    and memory accesses; allocators feed it block lifetimes. Workload
+    drivers read it after {!run} to publish findings. *)
 
 val cycles_to_ns : t -> float -> float
 
@@ -165,6 +175,13 @@ val ctx_rng : ctx -> Mb_prng.Rng.t
 
 val ctx_obs : ctx -> Mb_obs.Recorder.t
 (** The owning machine's recorder, for allocator emission sites. *)
+
+val ctx_check : ctx -> Mb_check.Checker.t
+(** The owning machine's checker, for allocator instrumentation. *)
+
+val asid : ctx -> int
+(** The owning process's address-space id; the checker folds it into
+    addresses the same way the physically-indexed cache does. *)
 
 val lane : ctx -> int
 (** This thread's trace lane (its engine pid); allocators use it to

@@ -30,7 +30,7 @@ let emit b ~sep line =
 
 let meta_line ~pid ?tid ~name ~value () =
   let b = Buffer.create 96 in
-  Printf.bprintf b "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d" name pid;
+  Printf.bprintf b "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d" (escape name) pid;
   (match tid with Some t -> Printf.bprintf b ",\"tid\":%d" t | None -> ());
   Printf.bprintf b ",\"args\":{\"name\":\"%s\"}}" (escape value);
   Buffer.contents b

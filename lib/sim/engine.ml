@@ -26,6 +26,13 @@ type t = {
      needs the string (a trace lane, an error message) — unobserved runs
      skip the Printf entirely. *)
   mutable names : string array;
+  (* Wait-for bookkeeping, indexed by pid and meaningful only while
+     parked: what the process is waiting for (free-form, set by the
+     layer that parked it) and which pid it waits on (-1 when the
+     target is not a process, e.g. a cpu). Feeds the structured
+     [Stalled] report; costs one store per park on layers that opt in. *)
+  mutable whys : string array;
+  mutable waits : int array;
   (* Hand-off slot between [effc] and the preallocated Park handler
      closure (see [start]); holds [no_register] outside a perform. *)
   mutable pending_register : (unit -> unit) -> unit;
@@ -34,7 +41,40 @@ type t = {
 
 let no_register : (unit -> unit) -> unit = fun _ -> ()
 
-exception Stalled of string
+type waiter = {
+  wpid : pid;
+  wname : string;
+  wwhy : string;
+  wwaits_on : pid;
+}
+
+type stall = {
+  waiters : waiter list;
+  cycle : waiter list;
+}
+
+exception Stalled of stall
+
+let stall_message st =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "simulation stalled: %d process(es) parked with no runnable event"
+    (List.length st.waiters);
+  List.iter
+    (fun w ->
+      Printf.bprintf b "\n  %s (pid %d): %s" w.wname w.wpid w.wwhy;
+      if w.wwaits_on >= 0 then Printf.bprintf b " [waits on pid %d]" w.wwaits_on)
+    st.waiters;
+  (match st.cycle with
+  | [] -> ()
+  | first :: _ as c ->
+      Printf.bprintf b "\n  deadlock cycle: %s"
+        (String.concat " -> " (List.map (fun w -> w.wname) c @ [ first.wname ])));
+  Buffer.contents b
+
+let () =
+  Printexc.register_printer (function
+    | Stalled st -> Some ("Engine.Stalled: " ^ stall_message st)
+    | _ -> None)
 
 type _ Effect.t += Delay : float -> unit Effect.t
 type _ Effect.t += Park : ((unit -> unit) -> unit) -> unit Effect.t
@@ -55,6 +95,8 @@ let create ?(obs = Obs.null) () =
     parked = Array.make 16 false;
     parked_count = 0;
     names = Array.make 16 "";
+    whys = Array.make 16 "";
+    waits = Array.make 16 (-1);
     pending_register = no_register;
     obs;
   }
@@ -115,8 +157,14 @@ let set_parked t pid =
 let clear_parked t pid =
   if t.parked.(pid) then begin
     t.parked.(pid) <- false;
-    t.parked_count <- t.parked_count - 1
+    t.parked_count <- t.parked_count - 1;
+    t.whys.(pid) <- "";
+    t.waits.(pid) <- -1
   end
+
+let set_wait t pid ~why ~waits_on =
+  t.whys.(pid) <- why;
+  t.waits.(pid) <- waits_on
 
 (* Run one step of a process body under the engine's effect handler. The
    handler is installed once per process; continuations captured by Delay
@@ -208,7 +256,13 @@ let spawn t ?name body =
     t.parked <- nparked;
     let nnames = Array.make ncap "" in
     Array.blit t.names 0 nnames 0 cap;
-    t.names <- nnames
+    t.names <- nnames;
+    let nwhys = Array.make ncap "" in
+    Array.blit t.whys 0 nwhys 0 cap;
+    t.whys <- nwhys;
+    let nwaits = Array.make ncap (-1) in
+    Array.blit t.waits 0 nwaits 0 cap;
+    t.waits <- nwaits
   end;
   (match name with Some n -> t.names.(pid) <- n | None -> ());
   t.live <- t.live + 1;
@@ -219,14 +273,61 @@ let spawn t ?name body =
   Pqueue.push t.queue ~time:t.clock.Pqueue.cell_time (Thunk (fun () -> start t pid body));
   pid
 
+(* Build the structured stall report: every parked process with its
+   recorded reason, plus one cycle of the wait-for graph if there is
+   one. The graph has out-degree <= 1 (each parked process waits on at
+   most one pid), so a stamped walk from each unvisited node finds a
+   cycle in linear time: revisiting a node carrying the current walk's
+   stamp means the chain bit its own tail. *)
+let stall_report t =
+  let n = Array.length t.parked in
+  let waiter_of pid =
+    { wpid = pid;
+      wname = name_of t pid;
+      wwhy = (let w = t.whys.(pid) in if w = "" then "parked" else w);
+      wwaits_on = t.waits.(pid);
+    }
+  in
+  let waiters = ref [] in
+  for pid = n - 1 downto 0 do
+    if t.parked.(pid) then waiters := waiter_of pid :: !waiters
+  done;
+  let mark = Array.make n 0 in
+  let stamp = ref 0 in
+  let cycle = ref [] in
+  List.iter
+    (fun w ->
+      if !cycle = [] && mark.(w.wpid) = 0 then begin
+        incr stamp;
+        let s = !stamp in
+        let rec walk pid =
+          if pid >= 0 && pid < n && t.parked.(pid) then begin
+            if mark.(pid) = s then begin
+              (* [pid] starts the cycle: follow the chain back around. *)
+              let rec collect p acc =
+                let acc = waiter_of p :: acc in
+                let next = t.waits.(p) in
+                if next = pid then List.rev acc else collect next acc
+              in
+              cycle := collect pid []
+            end
+            else if mark.(pid) = 0 then begin
+              mark.(pid) <- s;
+              walk t.waits.(pid)
+            end
+            (* A positive foreign stamp means this chain merges into one
+               already explored without finding a cycle: stop. *)
+          end
+        in
+        walk w.wpid
+      end)
+    !waiters;
+  { waiters = !waiters; cycle = !cycle }
+
 let run t =
   let rec loop () =
     if Pqueue.is_empty t.queue then begin
-      if t.parked_count > 0 then begin
-        let names = ref [] in
-        Array.iteri (fun pid p -> if p then names := name_of t pid :: !names) t.parked;
-        raise (Stalled (String.concat ", " (List.sort compare !names)))
-      end
+      if t.parked_count > 0 then raise (Stalled (stall_report t))
     end
     else begin
       Pqueue.read_top_time t.queue t.clock;

@@ -21,10 +21,33 @@ type t
 type pid = int
 (** Process identifier, unique within an engine. *)
 
-exception Stalled of string
+type waiter = {
+  wpid : pid;            (** the parked process *)
+  wname : string;        (** its display name *)
+  wwhy : string;         (** what it waits for (see {!set_wait}); ["parked"]
+                             when the parking layer recorded nothing *)
+  wwaits_on : pid;       (** the pid it waits on, or [-1] if the target is
+                             not a process (a cpu, an external event) *)
+}
+(** One stuck process in a stall report. *)
+
+type stall = {
+  waiters : waiter list;  (** every parked process, in pid order *)
+  cycle : waiter list;    (** one cycle of the wait-for graph in following
+                              order, or [[]] when the stall is not a
+                              deadlock (e.g. a lost wakeup) *)
+}
+(** Structured diagnosis of a drained-queue-with-parked-processes
+    stall. *)
+
+exception Stalled of stall
 (** Raised by {!run} when the event queue drains while parked processes
-    remain — the simulation's notion of deadlock. The payload lists the
-    stuck processes. *)
+    remain — the simulation's notion of deadlock. A printer is
+    registered, so an uncaught [Stalled] displays {!stall_message}. *)
+
+val stall_message : stall -> string
+(** Multi-line human-readable rendering of a stall report: a summary
+    line, one line per waiter, and the deadlock cycle if one exists. *)
 
 val create : ?obs:Mb_obs.Recorder.t -> unit -> t
 (** [create ()] makes an idle engine at time 0. [obs] (default
@@ -75,6 +98,14 @@ val delay_pending : t -> unit
     trip entirely and just advances the clock — observationally
     identical, far cheaper. Only valid inside a process spawned on
     engine [e]. *)
+
+val set_wait : t -> pid -> why:string -> waits_on:pid -> unit
+(** [set_wait t pid ~why ~waits_on] records what a process is about to
+    wait for, so a stall names it in the {!Stalled} report. Call just
+    before parking; the record is cleared automatically when the
+    process resumes. [waits_on] is the pid the process depends on
+    ([-1] when the dependency is not a process) and is what the
+    deadlock cycle finder follows. *)
 
 val park : ((unit -> unit) -> unit) -> unit
 (** [park register] suspends the calling process and passes its one-shot

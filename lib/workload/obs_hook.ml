@@ -6,4 +6,6 @@ let publish ~label m allocators =
   if Mb_obs.Recorder.enabled obs then begin
     List.iter (fun a -> Mb_alloc.Astats.publish a.A.stats obs) allocators;
     Mb_obs.Collect.publish ~label obs
-  end
+  end;
+  let chk = M.checker m in
+  if Mb_check.Checker.armed chk then Mb_check.Collect.publish ~label chk

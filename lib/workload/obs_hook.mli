@@ -3,9 +3,11 @@
     Every workload calls {!publish} once after {!Mb_machine.Machine.run}
     returns: it folds the allocators' {!Mb_alloc.Astats} counters into the
     machine's recorder and hands the recorder to {!Mb_obs.Collect} under a
-    label describing the run's parameters. A no-op when the machine is
-    unobserved, so workloads stay oblivious to whether anyone is
-    watching. *)
+    label describing the run's parameters; if the machine's dynamic
+    checker is armed, the checker is likewise handed to
+    {!Mb_check.Collect} under the same label. A no-op when the machine
+    is unobserved and unchecked, so workloads stay oblivious to whether
+    anyone is watching. *)
 
 val publish :
   label:string -> Mb_machine.Machine.t -> Mb_alloc.Allocator.t list -> unit

@@ -87,6 +87,96 @@ let test_cost_helpers () =
   Alcotest.(check int) "zero cost" 512 (A.zero_cost_cycles 4096);
   Alcotest.(check int) "copy cost" 1024 (A.copy_cost_cycles 4096)
 
+(* --- memalign x realloc x free interleavings ----------------------------- *)
+
+(* Random op sequences mixing memalign, realloc (including realloc of a
+   memalign'd block — the aligned user address is not a chunk start, so
+   it must be resolved through the origins table), raw [free] of aligned
+   blocks, and [free_aligned]. After draining everything the heap must
+   still validate, the origins table must hold no leaked entries, and no
+   bytes may remain live. *)
+
+type heap_op =
+  | Op_memalign of int * int  (* alignment exponent, size *)
+  | Op_malloc of int
+  | Op_realloc of int * int   (* victim index hint, new size *)
+  | Op_free_raw of int
+  | Op_free_aligned of int
+
+let heap_op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (3, map2 (fun a s -> Op_memalign (a, s)) (int_range 4 9) (int_range 1 600));
+        (2, map (fun s -> Op_malloc s) (int_range 1 600));
+        (3, map2 (fun i s -> Op_realloc (i, s)) nat (int_range 1 2000));
+        (2, map (fun i -> Op_free_raw i) nat);
+        (2, map (fun i -> Op_free_aligned i) nat) ])
+
+let show_heap_op = function
+  | Op_memalign (a, s) -> Printf.sprintf "memalign(%d,%d)" (1 lsl a) s
+  | Op_malloc s -> Printf.sprintf "malloc(%d)" s
+  | Op_realloc (i, s) -> Printf.sprintf "realloc(#%d,%d)" i s
+  | Op_free_raw i -> Printf.sprintf "free(#%d)" i
+  | Op_free_aligned i -> Printf.sprintf "free_aligned(#%d)" i
+
+let heap_ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map show_heap_op ops))
+    QCheck.Gen.(list_size (int_range 1 80) heap_op_gen)
+
+let run_heap_ops mk ops =
+  let failure = ref None in
+  in_thread (fun _ p ctx ->
+      let alloc = mk p in
+      let live = ref [] in
+      let pick i =
+        match !live with [] -> None | l -> Some (List.nth l (i mod List.length l))
+      in
+      let drop u = live := List.filter (fun v -> v <> u) !live in
+      List.iter
+        (fun op ->
+          match op with
+          | Op_memalign (a, s) ->
+              live := A.memalign alloc ctx ~alignment:(1 lsl a) s :: !live
+          | Op_malloc s -> live := alloc.A.malloc ctx s :: !live
+          | Op_realloc (i, s) -> (
+              match pick i with
+              | None -> live := alloc.A.malloc ctx s :: !live
+              | Some u ->
+                  drop u;
+                  live := A.realloc alloc ctx u s :: !live)
+          | Op_free_raw i -> (
+              match pick i with
+              | None -> ()
+              | Some u ->
+                  drop u;
+                  alloc.A.free ctx u)
+          | Op_free_aligned i -> (
+              match pick i with
+              | None -> ()
+              | Some u ->
+                  drop u;
+                  A.free_aligned alloc ctx u))
+        ops;
+      List.iter (fun u -> alloc.A.free ctx u) !live;
+      match alloc.A.validate () with
+      | Error m -> failure := Some ("heap invalid: " ^ m)
+      | Ok () ->
+          if Hashtbl.length alloc.A.origins <> 0 then
+            failure :=
+              Some (Printf.sprintf "origins leaked %d entries" (Hashtbl.length alloc.A.origins))
+          else if alloc.A.stats.Core.Astats.live_bytes <> 0 then
+            failure :=
+              Some (Printf.sprintf "%d bytes still live" alloc.A.stats.Core.Astats.live_bytes));
+  match !failure with None -> true | Some m -> QCheck.Test.fail_report m
+
+let prop_memalign_realloc_free =
+  QCheck.Test.make ~name:"memalign x realloc x free: heap valid, origins drained" ~count:60
+    heap_ops_arb
+    (fun ops ->
+      run_heap_ops (fun p -> Core.Ptmalloc.allocator (ptmalloc_of p)) ops
+      && run_heap_ops (fun p -> Core.Serial.allocator (Core.Serial.make p ())) ops)
+
 (* --- Hoard --------------------------------------------------------------- *)
 
 let test_hoard_heap_hashing () =
@@ -306,6 +396,7 @@ let suite =
     Alcotest.test_case "realloc copy cost" `Quick test_realloc_cost_charged;
     Alcotest.test_case "memalign" `Quick test_memalign;
     Alcotest.test_case "cost helpers" `Quick test_cost_helpers;
+    QCheck_alcotest.to_alcotest prop_memalign_realloc_free;
     Alcotest.test_case "hoard: heap hashing" `Quick test_hoard_heap_hashing;
     Alcotest.test_case "hoard: superblock reuse" `Quick test_hoard_superblock_reuse;
     Alcotest.test_case "hoard: emptiness invariant" `Quick test_hoard_emptiness_invariant;

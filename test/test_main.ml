@@ -14,6 +14,7 @@ let () =
       ("workload", Test_workload.suite);
       ("report", Test_report.suite);
       ("obs", Test_obs.suite);
+      ("check", Test_check.suite);
       ("extensions", Test_extensions.suite);
       ("experiments", Test_experiments.suite);
     ]

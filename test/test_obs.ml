@@ -271,6 +271,39 @@ let test_trace_timestamps_monotone_per_lane () =
     (String.split_on_char '\n' doc);
   Alcotest.(check bool) "checked several events" true (!checked > 3)
 
+(* --- hostile names ------------------------------------------------------- *)
+
+(* Run labels, lane names, event names, and span args are all
+   user-controlled strings that end up inside JSON string literals. Fuzz
+   them with quotes, backslashes, newlines, and raw control characters:
+   the serialized trace must always parse. *)
+
+let hostile_string =
+  QCheck.Gen.(
+    let hostile_char =
+      oneof
+        [ return '"'; return '\\'; return '\n'; return '\t'; return '\x00';
+          return '\x1b'; return '{'; char_range 'a' 'z' ]
+    in
+    string_size ~gen:hostile_char (int_range 0 24))
+
+let prop_hostile_names_stay_json =
+  QCheck.Test.make ~name:"hostile run/thread/event names still serialize to JSON" ~count:200
+    (QCheck.make
+       ~print:(fun (a, b, c) -> Printf.sprintf "label=%S lane=%S event=%S" a b c)
+       QCheck.Gen.(triple hostile_string hostile_string hostile_string))
+    (fun (label, lane_name, event_name) ->
+      let r = R.create ~metrics:false () in
+      R.set_lane r 0 lane_name;
+      R.instant r ~lane:0 ~name:event_name ~ts_ns:1. ();
+      R.span r ~lane:0 ~name:event_name ~ts_ns:2. ~dur_ns:3.
+        ~args:[ (lane_name, label); (event_name, lane_name) ]
+        ();
+      let doc = Obs.Trace_json.to_string [ (label, r) ] in
+      match check_json doc with
+      | () -> true
+      | exception Bad_json p -> QCheck.Test.fail_reportf "JSON syntax error at byte %d" p)
+
 (* --- non-perturbation --------------------------------------------------- *)
 
 let test_observation_does_not_perturb () =
@@ -301,6 +334,7 @@ let suite =
     Alcotest.test_case "trace JSON parses" `Quick test_trace_json_parses;
     Alcotest.test_case "timestamps monotone per lane" `Quick
       test_trace_timestamps_monotone_per_lane;
+    QCheck_alcotest.to_alcotest prop_hostile_names_stay_json;
     Alcotest.test_case "observation does not perturb runs" `Quick
       test_observation_does_not_perturb
   ]

@@ -86,8 +86,18 @@ let test_double_resume_raises () =
 
 let test_stalled_detection () =
   let e = Engine.create () in
-  ignore (Engine.spawn e ~name:"stuck" (fun () -> Engine.park (fun _ -> ())));
-  Alcotest.check_raises "deadlock" (Engine.Stalled "stuck") (fun () -> Engine.run e)
+  let pid = Engine.spawn e ~name:"stuck" (fun () -> Engine.park (fun _ -> ())) in
+  match Engine.run e with
+  | () -> Alcotest.fail "expected Stalled"
+  | exception Engine.Stalled st -> (
+      match st.Engine.waiters with
+      | [ w ] ->
+          Alcotest.(check int) "waiter pid" pid w.Engine.wpid;
+          Alcotest.(check string) "waiter name" "stuck" w.Engine.wname;
+          Alcotest.(check string) "default why" "parked" w.Engine.wwhy;
+          Alcotest.(check int) "no wait target" (-1) w.Engine.wwaits_on;
+          Alcotest.(check int) "no cycle" 0 (List.length st.Engine.cycle)
+      | ws -> Alcotest.fail (Printf.sprintf "expected 1 waiter, got %d" (List.length ws)))
 
 let test_spawn_from_process () =
   let e = Engine.create () in
