@@ -82,22 +82,47 @@ let check_arg =
                  report exits with status 3. Checking consumes no simulated time, so \
                  all other output is identical to an unchecked run.")
 
-(* Turn observation/checking on for the duration of [f], then drain the
-   collected recorders and checkers into the requested sinks. With no
-   flag, [f] runs on the disabled path untouched; --gc-stats only
-   snapshots Gc counters around [f], so it composes with either path
-   without perturbing it. *)
-let with_observation ~trace ~metrics ~gc_stats ?(check = false) f =
+let faults_conv =
+  let parse s =
+    match Core.Fault.Plan.parse s with Ok v -> Ok v | Error msg -> Error (`Msg msg)
+  in
+  let print fmt v = Format.pp_print_string fmt (Core.Fault.Plan.to_string v) in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(value
+       & opt faults_conv None
+       & info [ "faults" ] ~docv:"PLAN[:SEED]"
+           ~doc:"Arm the deterministic fault-injection layer for the simulated runs. \
+                 $(docv) names a scenario — $(b,oom-pressure) (a decaying address-space \
+                 budget), $(b,flaky-reserve) (a seeded fraction of page reservations \
+                 fail), $(b,preempt-storm) (extra context switches at lock sites) or \
+                 $(b,slow-lock) (stretched heap-mutex hold times) — with an optional \
+                 seed (default 1). Injected failures are absorbed by the allocator \
+                 retry/backoff path or surface as graceful degradation; each run prints \
+                 a $(b,fault:) line and the invocation ends with a $(b,degraded:) \
+                 summary. The same plan and seed reproduce byte-identical output; \
+                 $(b,none) leaves faults disarmed and the run byte-identical to a \
+                 plain one.")
+
+(* Turn observation/checking/fault-injection on for the duration of
+   [f], then drain the collected recorders, checkers and injectors into
+   the requested sinks. With no flag, [f] runs on the disabled path
+   untouched; --gc-stats only snapshots Gc counters around [f], so it
+   composes with either path without perturbing it. *)
+let with_observation ~trace ~metrics ~gc_stats ?(check = false) ?(faults = None) f =
   let gc_before = if gc_stats then Some (Gc.quick_stat ()) else None in
   let check_failed = ref false in
   let result =
-    if trace = None && not metrics && not check then f ()
+    if trace = None && (not metrics) && (not check) && faults = None then f ()
     else begin
       Core.Obs.Ctl.set { Core.Obs.Ctl.trace = trace <> None; metrics };
       Core.Check.Ctl.arm check;
+      Core.Fault.Ctl.arm faults;
       let finish () =
         Core.Obs.Ctl.set Core.Obs.Ctl.off;
         Core.Check.Ctl.arm false;
+        Core.Fault.Ctl.arm None;
         let runs = Core.Obs.Collect.drain () in
         (match trace with
         | Some path ->
@@ -125,7 +150,25 @@ let with_observation ~trace ~metrics ~gc_stats ?(check = false) f =
             checked;
           Printf.printf "check: %d finding(s) in %d checked run(s)\n" total (List.length checked);
           if total > 0 then check_failed := true
-        end
+        end;
+        match faults with
+        | None -> ()
+        | Some (plan, seed) ->
+            let module I = Core.Fault.Injector in
+            let stormed = Core.Fault.Collect.drain () in
+            List.iter
+              (fun (label, inj) ->
+                Printf.printf
+                  "fault: [%s] %s: injected %d (reserve %d, preempt %d, slow-lock %d) | \
+                   survived %d | degraded %d\n"
+                  (Core.Fault.Plan.label plan) label (I.injected inj)
+                  (I.injected_reserve inj) (I.injected_preempt inj) (I.injected_slowlock inj)
+                  (I.survived inj) (I.degraded inj))
+              stormed;
+            let sum get = List.fold_left (fun acc (_, inj) -> acc + get inj) 0 stormed in
+            Printf.printf "degraded: plan %s | runs: %d | injected: %d | survived: %d | degraded: %d\n"
+              (Core.Fault.Plan.to_string (Some (plan, seed)))
+              (List.length stormed) (sum I.injected) (sum I.survived) (sum I.degraded)
       in
       Fun.protect ~finally:finish f
     end
@@ -139,8 +182,8 @@ let with_observation ~trace ~metrics ~gc_stats ?(check = false) f =
 (* --- bench1 ----------------------------------------------------------- *)
 
 let bench1_cmd =
-  let run machine factory seed workers iterations size processes trace metrics gc_stats check =
-    with_observation ~trace ~metrics ~gc_stats ~check @@ fun () ->
+  let run machine factory seed workers iterations size processes trace metrics gc_stats check faults =
+    with_observation ~trace ~metrics ~gc_stats ~check ~faults @@ fun () ->
     let params =
       { Core.Bench1.default with
         Core.Bench1.machine;
@@ -169,13 +212,13 @@ let bench1_cmd =
   Cmd.v
     (Cmd.info "bench1" ~doc:"Multithread scalability: timed malloc/free loops")
     Term.(const run $ machine_arg $ factory_arg $ seed_arg $ threads_arg 2 $ iterations $ size
-          $ processes $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg)
+          $ processes $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg $ faults_arg)
 
 (* --- bench2 ----------------------------------------------------------- *)
 
 let bench2_cmd =
-  let run machine factory seed threads rounds objects replacements size trace metrics gc_stats check =
-    with_observation ~trace ~metrics ~gc_stats ~check @@ fun () ->
+  let run machine factory seed threads rounds objects replacements size trace metrics gc_stats check faults =
+    with_observation ~trace ~metrics ~gc_stats ~check ~faults @@ fun () ->
     let params =
       { Core.Bench2.machine;
         factory;
@@ -207,13 +250,13 @@ let bench2_cmd =
   Cmd.v
     (Cmd.info "bench2" ~doc:"Heap leakage: minor faults under cross-thread frees")
     Term.(const run $ machine_arg2 $ factory_arg $ seed_arg $ threads_arg 3 $ rounds $ objects
-          $ replacements $ size $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg)
+          $ replacements $ size $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg $ faults_arg)
 
 (* --- bench3 ----------------------------------------------------------- *)
 
 let bench3_cmd =
-  let run machine factory seed threads size writes aligned trace metrics gc_stats check =
-    with_observation ~trace ~metrics ~gc_stats ~check @@ fun () ->
+  let run machine factory seed threads size writes aligned trace metrics gc_stats check faults =
+    with_observation ~trace ~metrics ~gc_stats ~check ~faults @@ fun () ->
     let params =
       { Core.Bench3.default with
         Core.Bench3.machine;
@@ -244,13 +287,13 @@ let bench3_cmd =
   Cmd.v
     (Cmd.info "bench3" ~doc:"False cache-line sharing between writer threads")
     Term.(const run $ machine_arg3 $ factory_arg $ seed_arg $ threads_arg 2 $ size $ writes
-          $ aligned $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg)
+          $ aligned $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg $ faults_arg)
 
 (* --- server ------------------------------------------------------------ *)
 
 let server_cmd =
-  let run machine factory seed threads requests latency trace metrics gc_stats check =
-    with_observation ~trace ~metrics ~gc_stats ~check @@ fun () ->
+  let run machine factory seed threads requests latency trace metrics gc_stats check faults =
+    with_observation ~trace ~metrics ~gc_stats ~check ~faults @@ fun () ->
     let params =
       { Core.Server.default with
         Core.Server.machine;
@@ -283,16 +326,16 @@ let server_cmd =
   Cmd.v
     (Cmd.info "server" ~doc:"Network-server workload (iPlanet-style)")
     Term.(const run $ machine_arg4 $ factory_arg $ seed_arg $ threads_arg 4 $ requests $ latency
-          $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg)
+          $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg $ faults_arg)
 
 (* --- experiment --------------------------------------------------------- *)
 
 let experiment_cmd =
-  let run ids quick seed csv_dir jobs trace metrics gc_stats check =
+  let run ids quick seed csv_dir jobs trace metrics gc_stats check faults =
     let opts = { Core.Exp_common.quick; seed } in
     let only = match ids with [] -> None | ids -> Some ids in
     let outcomes =
-      with_observation ~trace ~metrics ~gc_stats ~check (fun () ->
+      with_observation ~trace ~metrics ~gc_stats ~check ~faults (fun () ->
           Core.Experiments.run_all ?jobs ?only opts)
     in
     (match csv_dir with
@@ -307,7 +350,10 @@ let experiment_cmd =
           outcomes);
     print_endline "== summary ==";
     List.iter (fun o -> print_endline (Core.Outcome.summary_line o)) outcomes;
-    if not (List.for_all Core.Outcome.passed outcomes) then Stdlib.exit 1
+    (* Under an armed fault plan the paper's pass thresholds no longer
+       apply — the run is judged on completing gracefully (exit 0), not
+       on matching fault-free reference numbers. *)
+    if faults = None && not (List.for_all Core.Outcome.passed outcomes) then Stdlib.exit 1
   in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
@@ -333,7 +379,8 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
-    Term.(const run $ ids $ quick $ seed_arg $ csv_dir $ jobs $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg)
+    Term.(const run $ ids $ quick $ seed_arg $ csv_dir $ jobs $ trace_arg $ metrics_arg $ gc_stats_arg
+          $ check_arg $ faults_arg)
 
 (* --- list ---------------------------------------------------------------- *)
 

@@ -20,7 +20,7 @@ let trace_time factory threads =
     List.init threads (fun _ -> Core.Trace.generate ~rng ~ops:8_000 ~slots ())
   in
   let workers =
-    List.map (fun trace -> M.spawn proc (fun ctx -> Core.Trace.replay alloc ctx trace ~slots)) traces
+    List.map (fun trace -> M.spawn proc (fun ctx -> ignore (Core.Trace.replay alloc ctx trace ~slots))) traces
   in
   M.run machine;
   (match alloc.A.validate () with

@@ -1,5 +1,6 @@
 module M = Mb_machine.Machine
 module Check = Mb_check.Checker
+module Fault = Mb_fault.Injector
 
 type t = {
   name : string;
@@ -11,7 +12,7 @@ type t = {
   origins : (int, int) Hashtbl.t;
 }
 
-let out_of_memory who = failwith (who ^ ": out of memory")
+let out_of_memory ?(bytes = 0) who = raise (Fault.Alloc_failure { who; bytes })
 
 (* Cost model for the derived entry points: a 1999-class CPU moves or
    clears roughly 8 bytes per cycle from/to cache. *)
@@ -79,9 +80,29 @@ let instrument t =
         t.free ctx raw
     | None -> t.free ctx user
   in
+  (* Retry-with-backoff under an armed fault plan: an [Alloc_failure]
+     from the underlying allocator (a vetoed or genuinely exhausted
+     reservation) backs off in {e simulated} time — so schedules stay
+     deterministic — and retries up to [Fault.max_retries] times before
+     letting the failure surface to the workload's degradation guard.
+     With faults off this is the bare [t.malloc] call. *)
+  let rec malloc_attempt fault ctx size i =
+    match t.malloc ctx size with
+    | user ->
+        if i > 0 then Fault.note_survived fault;
+        user
+    | exception Fault.Alloc_failure _ when i < Fault.max_retries ->
+        M.work_exact ctx (Fault.backoff_cycles i);
+        malloc_attempt fault ctx size (i + 1)
+  in
+  let malloc_resilient ctx size =
+    let fault = M.ctx_fault ctx in
+    if not (Fault.armed fault) then t.malloc ctx size
+    else malloc_attempt fault ctx size 0
+  in
   let malloc ctx size =
     let chk = M.ctx_check ctx in
-    if not (Check.armed chk) then t.malloc ctx size
+    if not (Check.armed chk) then malloc_resilient ctx size
     else begin
       let tid = M.tid ctx in
       (* Allocator-internal accesses (headers, arena metadata) migrate
@@ -90,7 +111,7 @@ let instrument t =
       let user =
         Fun.protect
           ~finally:(fun () -> Check.exit_runtime chk ~tid)
-          (fun () -> t.malloc ctx size)
+          (fun () -> malloc_resilient ctx size)
       in
       Check.on_alloc chk ~tid ~asid:(M.asid ctx) ~addr:user ~len:(t.usable_size user);
       user

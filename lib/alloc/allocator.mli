@@ -14,8 +14,9 @@ type t = {
   name : string;
   malloc : Mb_machine.Machine.ctx -> int -> int;
       (** [malloc ctx size] returns the user address of a new block of at
-          least [size] bytes. @raise Out_of_memory when the address space
-          or arena space is exhausted. *)
+          least [size] bytes.
+          @raise Mb_fault.Injector.Alloc_failure when the address space
+          or arena space is exhausted (see {!out_of_memory}). *)
   free : Mb_machine.Machine.ctx -> int -> unit;
       (** [free ctx addr] releases a block previously returned by
           [malloc]. @raise Invalid_argument on a bad address (the
@@ -34,9 +35,12 @@ type t = {
           state should share this table too. *)
 }
 
-val out_of_memory : string -> 'a
-(** Raise [Out_of_memory]-style failure with context (we use [Failure]
-    carrying the allocator name so tests can distinguish sources). *)
+val out_of_memory : ?bytes:int -> string -> 'a
+(** Raise {!Mb_fault.Injector.Alloc_failure} naming the allocator and,
+    when known, the request size. Every allocator's exhaustion path
+    funnels through here, which is what lets {!instrument}'s retry loop
+    and the workloads' degradation guards catch one structured
+    exception instead of pattern-matching [Failure] strings. *)
 
 val instrument : t -> t
 (** [instrument t] is [t] with [malloc]/[free] wrapped for correctness:
@@ -44,6 +48,12 @@ val instrument : t -> t
     - [free] routes through the {!field-origins} table, so a raw [free]
       of a {!memalign}'d user address releases the chunk it was carved
       from instead of corrupting the heap;
+    - when the machine's {!Mb_fault.Injector.t} is armed, an
+      [Alloc_failure] from the underlying allocator is retried up to
+      {!Mb_fault.Injector.max_retries} times with exponential backoff
+      in {e simulated} time ({!Mb_fault.Injector.backoff_cycles}), so
+      injected reservation failures are survived deterministically;
+      only an exhausted retry budget lets the failure surface;
     - when the machine's {!Mb_check.Checker.t} is armed, block
       lifetimes are reported to it ([on_alloc]/[on_free]) and
       allocator-internal accesses run inside runtime-suppression

@@ -82,13 +82,13 @@ let with_heap t heap ctx f =
     t.stats.Astats.contended_ops <- t.stats.Astats.contended_ops + 1;
     M.Mutex.lock heap.lock ctx
   end;
-  let r = f () in
-  M.Mutex.unlock heap.lock ctx;
-  r
+  (* Exception-safe: see Serial.with_lock (malloc nests heap + global
+     locks, so a leak here would wedge every thread of the process). *)
+  Fun.protect ~finally:(fun () -> M.Mutex.unlock heap.lock ctx) f
 
 let new_superblock t ctx cls owner_index =
   match M.mmap ctx ~len:t.superblock_bytes with
-  | None -> Allocator.out_of_memory "hoard"
+  | None -> Allocator.out_of_memory ~bytes:t.superblock_bytes "hoard"
   | Some base ->
       let class_bytes = class_bytes_of_index cls in
       let capacity = t.superblock_bytes / class_bytes in
@@ -126,7 +126,7 @@ let malloc t ctx size =
   if size > large_threshold t then begin
     let len = (size + 4095) / 4096 * 4096 in
     match M.mmap ctx ~len with
-    | None -> Allocator.out_of_memory "hoard (large)"
+    | None -> Allocator.out_of_memory ~bytes:len "hoard (large)"
     | Some base ->
         Hashtbl.replace t.mm_large base len;
         t.stats.Astats.mmapped_chunks <- t.stats.Astats.mmapped_chunks + 1;

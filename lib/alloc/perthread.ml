@@ -50,14 +50,13 @@ let with_global t ctx f =
     t.stats.Astats.contended_ops <- t.stats.Astats.contended_ops + 1;
     M.Mutex.lock t.gmutex ctx
   end;
-  let r = f () in
-  M.Mutex.unlock t.gmutex ctx;
-  r
+  (* Exception-safe: see Serial.with_lock. *)
+  Fun.protect ~finally:(fun () -> M.Mutex.unlock t.gmutex ctx) f
 
 let global_malloc t ctx size =
   match Dlheap.malloc t.global ctx size with
   | Some user -> user
-  | None -> Allocator.out_of_memory "perthread"
+  | None -> Allocator.out_of_memory ~bytes:size "perthread"
 
 let malloc t ctx size =
   if size <= 0 then invalid_arg "Perthread.malloc: size <= 0";
@@ -90,7 +89,7 @@ let malloc t ctx size =
               lists.(cls) <- rest;
               counts.(cls) <- List.length rest;
               user
-          | [] -> Allocator.out_of_memory "perthread")
+          | [] -> Allocator.out_of_memory ~bytes:cls_bytes "perthread")
     in
     M.write_mem ctx (user - Dlheap.header_bytes);
     Astats.record_malloc t.stats cls_bytes;

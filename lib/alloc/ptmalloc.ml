@@ -117,7 +117,7 @@ let create_arena t ctx =
       if t.meta_base < 0 then begin
         match M.mmap ctx ~len:4096 with
         | Some base -> if t.meta_base < 0 then t.meta_base <- base
-        | None -> Allocator.out_of_memory "ptmalloc (arena metadata)"
+        | None -> Allocator.out_of_memory ~bytes:4096 "ptmalloc (arena metadata)"
       end;
       match Dlheap.create_sub ctx ~costs:t.costs ~params:t.params ~stats:t.stats with
       | None ->
@@ -198,14 +198,14 @@ let rec malloc_with t ctx arena size attempts =
       (* This arena's region is full: move to a fresh arena (bounded
          retries so address-space exhaustion terminates). *)
       M.Mutex.unlock arena.mutex ctx;
-      if attempts >= 3 then Allocator.out_of_memory "ptmalloc"
+      if attempts >= 3 then Allocator.out_of_memory ~bytes:size "ptmalloc"
       else begin
         match create_arena t ctx with
         | Some fresh ->
             if not (M.Mutex.try_lock fresh.mutex ctx) then
               invalid_arg "ptmalloc: fresh arena unexpectedly locked";
             malloc_with t ctx fresh size (attempts + 1)
-        | None -> Allocator.out_of_memory "ptmalloc"
+        | None -> Allocator.out_of_memory ~bytes:size "ptmalloc"
       end
 
 let malloc t ctx size =

@@ -23,15 +23,15 @@ let with_lock t ctx f =
     M.Mutex.lock t.mutex ctx
   end;
   M.write_mem ctx t.descriptor;
-  let result = f () in
-  M.Mutex.unlock t.mutex ctx;
-  result
+  (* Exception-safe: an [Alloc_failure] escaping [f] must not leave the
+     heap lock held, or the next malloc deadlocks the simulation. *)
+  Fun.protect ~finally:(fun () -> M.Mutex.unlock t.mutex ctx) f
 
 let malloc t ctx size =
   with_lock t ctx (fun () ->
       match Dlheap.malloc t.heap ctx size with
       | Some user -> user
-      | None -> Allocator.out_of_memory "serial")
+      | None -> Allocator.out_of_memory ~bytes:size "serial")
 
 let free t ctx user = with_lock t ctx (fun () -> Dlheap.free t.heap ctx user)
 

@@ -68,14 +68,13 @@ let with_cache t cache ctx f =
     t.stats.Astats.contended_ops <- t.stats.Astats.contended_ops + 1;
     M.Mutex.lock cache.lock ctx
   end;
-  let r = f () in
-  M.Mutex.unlock cache.lock ctx;
-  r
+  (* Exception-safe: see Serial.with_lock. *)
+  Fun.protect ~finally:(fun () -> M.Mutex.unlock cache.lock ctx) f
 
 let grow_cache t cache ctx =
   let len = t.slab_pages * 4096 in
   match M.mmap ctx ~len with
-  | None -> Allocator.out_of_memory "slab"
+  | None -> Allocator.out_of_memory ~bytes:len "slab"
   | Some base ->
       let capacity = len / cache.obj_size in
       let slab =
@@ -96,7 +95,7 @@ let malloc t ctx size =
   if size > t.large_threshold then begin
     let len = (size + 4095) / 4096 * 4096 in
     match M.mmap ctx ~len with
-    | None -> Allocator.out_of_memory "slab (large)"
+    | None -> Allocator.out_of_memory ~bytes:len "slab (large)"
     | Some base ->
         Hashtbl.replace t.mm_large base len;
         t.stats.Astats.mmapped_chunks <- t.stats.Astats.mmapped_chunks + 1;

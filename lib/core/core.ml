@@ -50,6 +50,7 @@ module Larson = Mb_workload.Larson
 (* Observability. *)
 module Obs = Mb_obs
 module Check = Mb_check
+module Fault = Mb_fault
 module Metrics = Mb_report.Metrics
 
 (* Support. *)

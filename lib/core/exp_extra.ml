@@ -9,6 +9,7 @@ module Series = Mb_stats.Series
 module Table = Mb_report.Table
 module Plot = Mb_report.Plot
 module A = Mb_alloc.Allocator
+module Fault = Mb_fault.Injector
 open Exp_common
 
 let ablate_spin opts =
@@ -189,9 +190,11 @@ let ablate_bkl opts =
     let workers =
       List.init 4 (fun i ->
           Machine.spawn proc ~name:(string_of_int i) (fun ctx ->
+              let fault = Machine.ctx_fault ctx in
               for _ = 1 to iters do
-                let u = alloc.A.malloc ctx (256 * 1024) in
-                alloc.A.free ctx u
+                match alloc.A.malloc ctx (256 * 1024) with
+                | u -> alloc.A.free ctx u
+                | exception Fault.Alloc_failure _ -> Fault.note_degraded fault
               done))
     in
     Machine.run m;
@@ -244,7 +247,8 @@ let ablate_crowding opts =
              (* A server-like footprint well past the 96KB brk window. *)
              let blocks = List.init live_blocks (fun _ -> alloc.A.malloc ctx 512) in
              List.iter (fun u -> alloc.A.free ctx u) blocks
-           with Failure msg -> outcome := `Oom msg);
+           with Fault.Alloc_failure { who; bytes } ->
+             outcome := `Oom (Printf.sprintf "%s: out of memory (%d bytes)" who bytes));
           ())
     in
     Machine.run m;
@@ -295,9 +299,11 @@ let ablate_fastbins opts =
     let iters = pick opts ~full:30_000 ~quick:6_000 in
     let th =
       Machine.spawn proc (fun ctx ->
+          let fault = Machine.ctx_fault ctx in
           for _ = 1 to iters do
-            let u = alloc.A.malloc ctx 40 in
-            alloc.A.free ctx u
+            match alloc.A.malloc ctx 40 with
+            | u -> alloc.A.free ctx u
+            | exception Fault.Alloc_failure _ -> Fault.note_degraded fault
           done)
     in
     Machine.run m;
@@ -366,7 +372,9 @@ let trace_replay opts =
     let alloc = factory.Factory.create proc in
     let rng = Mb_prng.Rng.create ~seed:(opts.seed + 5) in
     let trace = Trace.generate ~rng ~ops ~slots:1_000 () in
-    let th = Machine.spawn proc (fun ctx -> Trace.replay alloc ctx trace ~slots:1_000) in
+    let th =
+      Machine.spawn proc (fun ctx -> ignore (Trace.replay alloc ctx trace ~slots:1_000))
+    in
     Machine.run m;
     (match alloc.A.validate () with
     | Ok () -> ()

@@ -1,0 +1,23 @@
+let lock = Mutex.create ()
+
+let published : (string * Injector.t) list ref = ref []  (* reversed arrival order *)
+
+let publish ~label inj =
+  if Injector.armed inj then begin
+    Mutex.lock lock;
+    published := (label, inj) :: !published;
+    Mutex.unlock lock
+  end
+
+let drain () =
+  Mutex.lock lock;
+  let runs = List.rev !published in
+  published := [];
+  Mutex.unlock lock;
+  List.stable_sort (fun (a, _) (b, _) -> String.compare a b) runs
+
+let pending () =
+  Mutex.lock lock;
+  let n = List.length !published in
+  Mutex.unlock lock;
+  n

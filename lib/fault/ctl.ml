@@ -1,0 +1,10 @@
+let state : (Plan.t * int) option Atomic.t = Atomic.make None
+
+let arm p = Atomic.set state p
+
+let armed () = Atomic.get state
+
+let injector () =
+  match Atomic.get state with
+  | None -> Injector.null
+  | Some (plan, seed) -> Injector.create ~plan ~seed

@@ -1,0 +1,22 @@
+(** Process-wide fault-injection control.
+
+    The CLI (or a test) arms a plan {e before} any machine is built;
+    {!Mb_machine.Machine.create} then asks {!injector} for a fresh
+    per-machine {!Injector.t}. With no plan armed (the default),
+    {!injector} returns {!Injector.null} and every instrumentation
+    site stays on the branch-cheap disabled path — output is
+    byte-identical to a build without the fault layer.
+
+    The state is one atomic cell, set once per process invocation
+    before worker domains spawn, so cross-domain reads are safe. *)
+
+val arm : (Plan.t * int) option -> unit
+(** Arm a plan (with its seed) or disarm with [None]. Call before
+    starting the runs to be stormed. *)
+
+val armed : unit -> (Plan.t * int) option
+
+val injector : unit -> Injector.t
+(** An injector for one new machine: {!Injector.null} when no plan is
+    armed, otherwise a fresh armed injector for the current plan and
+    seed. *)

@@ -4,6 +4,7 @@ module As = Mb_vm.Address_space
 module Rng = Mb_prng.Rng
 module Obs = Mb_obs.Recorder
 module Check = Mb_check.Checker
+module Fault = Mb_fault.Injector
 
 type config = {
   cpus : int;
@@ -75,6 +76,10 @@ type t = {
   check_on : bool;  (* Check.armed check, cached: the memory hot paths
                        branch on an immutable bool field instead of a
                        load through the checker record *)
+  fault : Fault.t;
+  fault_on : bool;  (* Fault.armed fault, cached like [check_on]: the
+                       reservation/lock sites branch on an immutable
+                       bool, so faults-off runs are byte-identical *)
   mutable next_mid : int;  (* machine-unique mutex ids for the checker's
                               lockset bookkeeping *)
   mutable mutexes : mutex list;  (* every mutex ever created on this
@@ -166,12 +171,13 @@ let no_register : (unit -> unit) -> unit = fun _ -> ()
 
 let thread_stack_bytes = 16 * 1024
 
-let create ?(seed = 42) ?obs ?check (config : config) =
+let create ?(seed = 42) ?obs ?check ?fault (config : config) =
   if config.cpus <= 0 then invalid_arg "Machine.create: cpus <= 0";
   if config.mhz <= 0. then invalid_arg "Machine.create: mhz <= 0";
   let cycle_ns = 1000. /. config.mhz in
   let obs = match obs with Some r -> r | None -> Mb_obs.Ctl.recorder () in
   let check = match check with Some c -> c | None -> Mb_check.Ctl.checker () in
+  let fault = match fault with Some f -> f | None -> Mb_fault.Ctl.injector () in
   let engine = Engine.create ~obs () in
   { config;
     engine;
@@ -190,6 +196,8 @@ let create ?(seed = 42) ?obs ?check (config : config) =
     obs;
     check;
     check_on = Check.armed check;
+    fault;
+    fault_on = Fault.armed fault;
     next_mid = 0;
     mutexes = [];
     sbrk_calls = 0;
@@ -225,6 +233,14 @@ let flush_observations t =
     Obs.set t.obs "vm.sbrk_calls" t.sbrk_calls;
     Obs.set t.obs "vm.mmap_calls" t.mmap_calls;
     Obs.set t.obs "vm.munmap_calls" t.munmap_calls;
+    if t.fault_on then begin
+      Obs.set t.obs "fault.injected" (Fault.injected t.fault);
+      Obs.set t.obs "fault.injected_reserve" (Fault.injected_reserve t.fault);
+      Obs.set t.obs "fault.injected_preempt" (Fault.injected_preempt t.fault);
+      Obs.set t.obs "fault.injected_slowlock" (Fault.injected_slowlock t.fault);
+      Obs.set t.obs "fault.survived" (Fault.survived t.fault);
+      Obs.set t.obs "fault.degraded" (Fault.degraded t.fault)
+    end;
     (* Mutex names repeat across processes (each process-private ptmalloc
        has its own "arena-0"), so sum per name before writing. *)
     let acc = Hashtbl.create 16 in
@@ -527,6 +543,15 @@ let rec mutex_lock_slow mu th =
       end
 
 let mutex_lock mu th =
+  (* preempt-storm: a seeded fraction of lock acquisitions take an extra
+     context switch first, as if the quantum expired at the worst moment
+     (the paper's convoy-formation trigger). Only when another thread is
+     ready — [preempt] hands the CPU to the head of the ready queue. *)
+  if
+    mu.mm.fault_on
+    && (not (Queue.is_empty mu.mm.ready))
+    && Fault.preempt_now mu.mm.fault
+  then preempt mu.mm th;
   work_exact_cycles th (lock_op_cost th);
   match mu.owner with
   | None ->
@@ -541,6 +566,12 @@ let mutex_unlock mu th =
   (match mu.owner with
   | Some cur when cur == th -> ()
   | Some _ | None -> invalid_arg "Mutex.unlock: not the owner");
+  (* slow-lock: stretch a seeded fraction of heap-mutex hold times, so
+     waiters pile up behind an owner that "went away" holding the lock. *)
+  if mu.mm.fault_on && mu.heap_lock then begin
+    let extra = Fault.stretch_cycles mu.mm.fault in
+    if extra > 0 then work_exact_cycles th extra
+  end;
   note_released mu th;
   work_exact_cycles th (lock_op_cost th);
   match Queue.take_opt mu.waiters with
@@ -631,6 +662,30 @@ let work th cycles =
     consume th (float_of_int cycles *. j)
   end
 
+(* Reserve a thread stack, riding the fault layer's retry policy: a
+   vetoed (or genuinely exhausted) reservation backs off in simulated
+   time and tries again, so transiently flaky reservations survive.
+   Returns [None] only once the retry budget is spent. *)
+let rec map_stack m th p attempt =
+  let r =
+    if
+      m.fault_on
+      && Fault.veto_reserve m.fault ~now_ns:(Engine.now m.engine)
+           ~load:(As.dynamic_bytes p.pvm) ~len:thread_stack_bytes
+    then None
+    else As.mmap p.pvm ~len:thread_stack_bytes
+  in
+  match r with
+  | Some _ as got ->
+      if attempt > 0 && m.fault_on then Fault.note_survived m.fault;
+      got
+  | None ->
+      if attempt < Fault.max_retries then begin
+        work_exact_cycles th (Fault.backoff_cycles attempt);
+        map_stack m th p (attempt + 1)
+      end
+      else None
+
 let spawn p ?name body =
   let m = p.pm in
   let tid = m.next_tid in
@@ -674,14 +729,24 @@ let spawn p ?name body =
          (* pthread_create: kernel work plus a freshly mapped stack whose
             first page faults in — the paper's ~1 page per thread. *)
          work_exact th m.config.thread_spawn_cycles;
-         (match As.mmap p.pvm ~len:thread_stack_bytes with
+         (match map_stack m th p 0 with
          | Some a ->
              th.stack_addr <- a;
              page_in th a ~len:1
-         | None -> failwith "Machine.spawn: address space exhausted for thread stack");
+         | None ->
+             if m.fault_on then
+               (* Degrade: run the thread without a modelled stack (its
+                  pages and their faults simply aren't simulated) rather
+                  than killing the whole run. *)
+               Fault.note_degraded m.fault
+             else
+               raise
+                 (Fault.Alloc_failure
+                    { who = "Machine.spawn"; bytes = thread_stack_bytes }));
          body th;
          List.iter (fun hook -> hook ()) (List.rev th.hooks);
-         As.munmap p.pvm th.stack_addr ~len:thread_stack_bytes;
+         if th.stack_addr >= 0 then
+           As.munmap p.pvm th.stack_addr ~len:thread_stack_bytes;
          th.hot.finish_ns <- Engine.now m.engine;
          th.state <- Finished;
          p.live_threads <- p.live_threads - 1;
@@ -722,6 +787,10 @@ let ctx_obs th = th.tproc.pm.obs
 let checker t = t.check
 
 let ctx_check th = th.tproc.pm.check
+
+let fault t = t.fault
+
+let ctx_fault th = th.tproc.pm.fault
 
 let asid th = th.tproc.pasid
 
@@ -786,13 +855,25 @@ let with_vm_syscall th f =
     f ()
   end
 
+(* Fault veto for a page reservation, evaluated inside the syscall body
+   (after the kernel entry cost and any BKL acquisition, where the real
+   kernel would discover exhaustion). Growth only: shrinks and releases
+   always succeed. *)
+let reserve_vetoed th ~len =
+  let m = th.tproc.pm in
+  m.fault_on && len > 0
+  && Fault.veto_reserve m.fault ~now_ns:(Engine.now m.engine)
+       ~load:(As.dynamic_bytes th.tproc.pvm) ~len
+
 let sbrk th delta =
   th.tproc.pm.sbrk_calls <- th.tproc.pm.sbrk_calls + 1;
-  with_vm_syscall th (fun () -> As.sbrk th.tproc.pvm delta)
+  with_vm_syscall th (fun () ->
+      if reserve_vetoed th ~len:delta then None else As.sbrk th.tproc.pvm delta)
 
 let mmap th ~len =
   th.tproc.pm.mmap_calls <- th.tproc.pm.mmap_calls + 1;
-  with_vm_syscall th (fun () -> As.mmap th.tproc.pvm ~len)
+  with_vm_syscall th (fun () ->
+      if reserve_vetoed th ~len then None else As.mmap th.tproc.pvm ~len)
 
 let munmap th addr ~len =
   th.tproc.pm.munmap_calls <- th.tproc.pm.munmap_calls + 1;

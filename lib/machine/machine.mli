@@ -52,14 +52,23 @@ val default_config : config
     {!Configs}. *)
 
 val create :
-  ?seed:int -> ?obs:Mb_obs.Recorder.t -> ?check:Mb_check.Checker.t -> config -> t
+  ?seed:int ->
+  ?obs:Mb_obs.Recorder.t ->
+  ?check:Mb_check.Checker.t ->
+  ?fault:Mb_fault.Injector.t ->
+  config ->
+  t
 (** Fresh machine. Equal seeds and programs give identical runs.
     [obs] is the machine's observation recorder; it defaults to
     {!Mb_obs.Ctl.recorder}[ ()], i.e. disabled unless the process-wide
     observation mode is on. [check] is the machine's dynamic
     correctness checker and likewise defaults to
     {!Mb_check.Ctl.checker}[ ()]. Neither consumes simulated time, so
-    observed/checked runs compute the same results as bare ones. *)
+    observed/checked runs compute the same results as bare ones.
+    [fault] is the machine's fault injector, defaulting to
+    {!Mb_fault.Ctl.injector}[ ()] ({!Mb_fault.Injector.null} unless a
+    [--faults] plan is armed); when disarmed every injection site is a
+    dead branch and output is byte-identical to a faultless build. *)
 
 val config : t -> config
 
@@ -80,6 +89,12 @@ val checker : t -> Mb_check.Checker.t
     checking is off). The machine feeds it mutex hold-set transitions
     and memory accesses; allocators feed it block lifetimes. Workload
     drivers read it after {!run} to publish findings. *)
+
+val fault : t -> Mb_fault.Injector.t
+(** This machine's fault injector ({!Mb_fault.Injector.null} when no
+    plan is armed). The machine consults it at page-reservation and
+    lock sites; allocators at retry sites; workload drivers read it
+    after {!run} to publish injected/survived/degraded counts. *)
 
 val cycles_to_ns : t -> float -> float
 
@@ -178,6 +193,10 @@ val ctx_obs : ctx -> Mb_obs.Recorder.t
 
 val ctx_check : ctx -> Mb_check.Checker.t
 (** The owning machine's checker, for allocator instrumentation. *)
+
+val ctx_fault : ctx -> Mb_fault.Injector.t
+(** The owning machine's fault injector, for the allocator retry
+    loop's policy and bookkeeping. *)
 
 val asid : ctx -> int
 (** The owning process's address-space id; the checker folds it into

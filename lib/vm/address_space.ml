@@ -20,6 +20,7 @@ type region = { len : int; kind : region_kind }
 type t = {
   config : config;
   mutable brk : addr;
+  mutable anon_bytes : int;            (* total length of live Anon regions *)
   mutable regions : region Int_map.t;  (* keyed by region start address *)
   resident : unit Int_table.t;         (* page-index set: probed once per
                                           simulated page touch, so open
@@ -44,6 +45,7 @@ let create config =
   if config.mmap_base >= config.mmap_top then invalid_arg "Address_space.create: mmap range";
   { config;
     brk = config.brk_base;
+    anon_bytes = 0;
     regions = Int_map.empty;
     resident = Int_table.create ~initial:1024 ();
     minor_faults = 0;
@@ -129,6 +131,7 @@ let mmap t ~len =
   | None -> None
   | Some start ->
       t.regions <- Int_map.add start { len; kind = Anon } t.regions;
+      t.anon_bytes <- t.anon_bytes + len;
       Some start
 
 let munmap t addr ~len =
@@ -139,6 +142,7 @@ let munmap t addr ~len =
   | Some _ -> invalid_arg "Address_space.munmap: length or kind mismatch"
   | None -> invalid_arg "Address_space.munmap: no mapping at address");
   t.regions <- Int_map.remove addr t.regions;
+  t.anon_bytes <- t.anon_bytes - len;
   let p = t.config.page_size in
   for page = addr / p to (addr + len - 1) / p do
     Int_table.remove t.resident page
@@ -191,6 +195,8 @@ let resident_pages t = Int_table.length t.resident
 let mapped_bytes t =
   let region_bytes = Int_map.fold (fun _ r acc -> acc + r.len) t.regions 0 in
   region_bytes + (t.brk - t.config.brk_base)
+
+let dynamic_bytes t = (t.brk - t.config.brk_base) + t.anon_bytes
 
 let sbrk_calls t = t.sbrk_calls
 

@@ -86,6 +86,13 @@ val resident_pages : t -> int
 val mapped_bytes : t -> int
 (** Bytes covered by the brk segment plus all live mappings. *)
 
+val dynamic_bytes : t -> int
+(** Bytes the process acquired at runtime: brk extent plus live
+    anonymous mappings, {e excluding} fixed maps (shared libraries).
+    This is the footprint the fault layer's [oom-pressure] plan
+    budgets against — fixed maps are loader baggage, not allocator
+    demand. *)
+
 val sbrk_calls : t -> int
 
 val mmap_calls : t -> int

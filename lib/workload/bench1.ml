@@ -1,5 +1,6 @@
 module M = Mb_machine.Machine
 module A = Mb_alloc.Allocator
+module Fault = Mb_fault.Injector
 
 type mode = Threads | Processes
 
@@ -34,18 +35,30 @@ type result = {
   arenas : int;
   blocks : int;
   utilization : float;
+  degraded_ops : int;
 }
 
-let worker_body alloc iterations size ctx =
+(* A malloc that still fails after the instrument layer's retries is
+   skipped (no free to balance) and counted, so the run completes under
+   an armed fault plan instead of dying — the degradation the fault
+   layer exists to measure. [degraded.(i)] is host-side bookkeeping;
+   the guard consumes no simulated time, so faults-off runs are
+   byte-identical. *)
+let worker_body alloc iterations size degraded i ctx =
+  let fault = M.ctx_fault ctx in
   for _ = 1 to iterations do
-    let user = alloc.A.malloc ctx size in
-    alloc.A.free ctx user
+    match alloc.A.malloc ctx size with
+    | user -> alloc.A.free ctx user
+    | exception Fault.Alloc_failure _ ->
+        Fault.note_degraded fault;
+        degraded.(i) <- degraded.(i) + 1
   done
 
 let run params =
   if params.workers <= 0 then invalid_arg "Bench1.run: workers <= 0";
   if params.iterations <= 0 then invalid_arg "Bench1.run: iterations <= 0";
   let m = M.create ~seed:params.seed params.machine in
+  let degraded = Array.make params.workers 0 in
   let allocators, threads =
     match params.mode with
     | Threads ->
@@ -54,7 +67,7 @@ let run params =
         let threads =
           List.init params.workers (fun i ->
               M.spawn proc ~name:(Printf.sprintf "worker-%d" i)
-                (worker_body alloc params.iterations params.size))
+                (worker_body alloc params.iterations params.size degraded i))
         in
         ([ alloc ], threads)
     | Processes ->
@@ -64,7 +77,7 @@ let run params =
               let alloc = params.factory.Factory.create proc in
               let th =
                 M.spawn proc ~name:(Printf.sprintf "worker-%d" i)
-                  (worker_body alloc params.iterations params.size)
+                  (worker_body alloc params.iterations params.size degraded i)
               in
               (alloc, th))
         in
@@ -98,6 +111,7 @@ let run params =
       (if makespan_cycles > 0. then
          M.busy_cycles m /. (float_of_int params.machine.M.cpus *. makespan_cycles)
        else 0.);
+    degraded_ops = Array.fold_left ( + ) 0 degraded;
   }
 
 let mean_scaled r = List.fold_left ( +. ) 0. r.scaled_s /. float_of_int (List.length r.scaled_s)

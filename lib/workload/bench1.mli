@@ -35,6 +35,9 @@ type result = {
   arenas : int;                  (** subheaps at the end (threads mode; summed in process mode) *)
   blocks : int;                  (** mutex blocks summed over workers *)
   utilization : float;           (** busy cycles / (cpus * makespan) *)
+  degraded_ops : int;            (** mallocs skipped after exhausting the
+                                     fault layer's retries; 0 unless a
+                                     [--faults] plan is armed *)
 }
 
 val run : params -> result

@@ -2,6 +2,7 @@ module M = Mb_machine.Machine
 module A = Mb_alloc.Allocator
 module As = Mb_vm.Address_space
 module Rng = Mb_prng.Rng
+module Fault = Mb_fault.Injector
 
 type params = {
   machine : M.config;
@@ -35,6 +36,7 @@ type result = {
   arenas_created : int;
   foreign_frees : int;
   elapsed_s : float;
+  degraded_ops : int;
 }
 
 let run params =
@@ -44,17 +46,28 @@ let run params =
   let alloc = params.factory.Factory.create proc in
   let latch = M.Latch.create m in
   let chains_left = ref params.threads in
+  (* Per-chain degradation counters (slot [threads] belongs to the main
+     thread's population phase). A slot holding 0 in an address array
+     marks an object whose allocation was skipped under faults: frees
+     of such slots are skipped too. *)
+  let degraded = Array.make (params.threads + 1) 0 in
   (* A worker replaces objects (freeing storage allocated by its
      predecessor thread while the heap is under contention — the paper's
      two conditions for leakage), then hands the array to a fresh thread. *)
   let rec worker chain round arr ctx =
     let rng = M.ctx_rng ctx in
+    let fault = M.ctx_fault ctx in
     for _ = 1 to params.replacements_per_round do
       let j = Rng.int rng (Array.length arr) in
-      alloc.A.free ctx arr.(j);
-      let user = alloc.A.malloc ctx params.size in
-      M.touch_range ctx user ~len:params.size;
-      arr.(j) <- user
+      if arr.(j) <> 0 then alloc.A.free ctx arr.(j);
+      match alloc.A.malloc ctx params.size with
+      | user ->
+          M.touch_range ctx user ~len:params.size;
+          arr.(j) <- user
+      | exception Fault.Alloc_failure _ ->
+          Fault.note_degraded fault;
+          degraded.(chain) <- degraded.(chain) + 1;
+          arr.(j) <- 0
     done;
     if round < params.rounds then
       ignore (M.spawn (M.proc ctx) ~name:(Printf.sprintf "c%d-r%d" chain (round + 1)) (worker chain (round + 1) arr))
@@ -65,28 +78,29 @@ let run params =
   in
   let main =
     M.spawn proc ~name:"main" (fun ctx ->
+        let fault = M.ctx_fault ctx in
+        let degraded_alloc size =
+          match alloc.A.malloc ctx size with
+          | user ->
+              M.touch_range ctx user ~len:size;
+              user
+          | exception Fault.Alloc_failure _ ->
+              Fault.note_degraded fault;
+              degraded.(params.threads) <- degraded.(params.threads) + 1;
+              0
+        in
         let arrays =
           Array.init params.threads (fun _ ->
-              Array.init params.objects_per_thread (fun _ ->
-                  let user = alloc.A.malloc ctx params.size in
-                  M.touch_range ctx user ~len:params.size;
-                  user))
+              Array.init params.objects_per_thread (fun _ -> degraded_alloc params.size))
         in
         (* The address arrays themselves live on the heap too. *)
         let array_bytes = params.objects_per_thread * 4 in
-        let array_blocks =
-          Array.map
-            (fun _ ->
-              let user = alloc.A.malloc ctx array_bytes in
-              M.touch_range ctx user ~len:array_bytes;
-              user)
-            arrays
-        in
+        let array_blocks = Array.map (fun _ -> degraded_alloc array_bytes) arrays in
         Array.iteri
           (fun i arr -> ignore (M.spawn proc ~name:(Printf.sprintf "c%d-r1" i) (worker i 1 arr)))
           arrays;
         M.Latch.wait latch ctx;
-        Array.iter (fun user -> alloc.A.free ctx user) array_blocks)
+        Array.iter (fun user -> if user <> 0 then alloc.A.free ctx user) array_blocks)
   in
   M.run m;
   (match alloc.A.validate () with
@@ -106,6 +120,7 @@ let run params =
     arenas_created = alloc.A.stats.Mb_alloc.Astats.arenas_created;
     foreign_frees = alloc.A.stats.Mb_alloc.Astats.foreign_frees;
     elapsed_s = M.elapsed_ns main /. 1e9;
+    degraded_ops = Array.fold_left ( + ) 0 degraded;
   }
 
 let paper_predictor ~threads ~rounds =

@@ -38,6 +38,9 @@ type result = {
   arenas_created : int;
   foreign_frees : int;
   elapsed_s : float;
+  degraded_ops : int;  (** replacements/populations skipped after the
+                           fault layer's retries ran out; 0 unless a
+                           [--faults] plan is armed *)
 }
 
 val run : params -> result

@@ -2,6 +2,7 @@ module M = Mb_machine.Machine
 module A = Mb_alloc.Allocator
 module Rng = Mb_prng.Rng
 module Coherence = Mb_cache.Coherence
+module Fault = Mb_fault.Injector
 
 type params = {
   machine : M.config;
@@ -34,6 +35,7 @@ type result = {
   transfers : int;
   shared_lines : int;
   addresses : int list;
+  degraded_ops : int;
 }
 
 let batch = 1_000
@@ -63,16 +65,35 @@ let run params =
   let alloc = factory.Factory.create proc in
   let objects = ref [] in
   let workers = ref [] in
+  let degraded = ref 0 in
   let main =
     M.spawn proc ~name:"main" (fun ctx ->
+        let fault = M.ctx_fault ctx in
         (* Model malloc's run-to-run address nondeterminism: a random
            amount of start-up allocation shifts where the objects land. *)
         let rng = M.ctx_rng ctx in
         let warmups = Rng.int rng 8 in
         for _ = 1 to warmups do
-          ignore (alloc.A.malloc ctx (8 + Rng.int rng 248))
+          match alloc.A.malloc ctx (8 + Rng.int rng 248) with
+          | (_ : int) -> ()
+          | exception Fault.Alloc_failure _ ->
+              Fault.note_degraded fault;
+              incr degraded
         done;
-        let objs = List.init params.threads (fun _ -> alloc.A.malloc ctx params.object_size) in
+        (* A thread whose object allocation fails under a fault plan has
+           nothing to write: it is skipped (and counted), and the
+           sharing analysis below sees only the objects that exist. *)
+        let objs =
+          List.filter_map
+            (fun (_ : int) ->
+              match alloc.A.malloc ctx params.object_size with
+              | user -> Some user
+              | exception Fault.Alloc_failure _ ->
+                  Fault.note_degraded fault;
+                  incr degraded;
+                  None)
+            (List.init params.threads Fun.id)
+        in
         objects := objs;
         let ws = List.map (fun obj -> M.spawn proc (writer_body params obj)) objs in
         workers := ws;
@@ -108,6 +129,7 @@ let run params =
     transfers = Coherence.transfers (M.cache m);
     shared_lines;
     addresses = !objects;
+    degraded_ops = !degraded;
   }
 
 let sweep params ~sizes ~runs =

@@ -31,6 +31,9 @@ type result = {
   transfers : int;         (** cache-to-cache transfers (ping-pongs) observed *)
   shared_lines : int;      (** lines written by more than one thread *)
   addresses : int list;    (** the object addresses handed out *)
+  degraded_ops : int;      (** allocations skipped after the fault
+                               layer's retries ran out; 0 unless a
+                               [--faults] plan is armed *)
 }
 
 val run : params -> result

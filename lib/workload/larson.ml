@@ -2,6 +2,7 @@ module M = Mb_machine.Machine
 module A = Mb_alloc.Allocator
 module As = Mb_vm.Address_space
 module Rng = Mb_prng.Rng
+module Fault = Mb_fault.Injector
 
 type params = {
   machine : M.config;
@@ -36,6 +37,7 @@ type result = {
   live_bytes : int;
   arenas : int;
   foreign_frees : int;
+  degraded_ops : int;
 }
 
 let run params =
@@ -48,17 +50,27 @@ let run params =
   let latch = M.Latch.create m in
   let chains_left = ref params.threads in
   let random_size rng = Rng.int_in rng params.min_size params.max_size in
+  (* Per-chain degradation counters; slot [threads] is the main thread's
+     pre-population phase. Empty slots are already encoded as 0, so a
+     failed replacement just leaves the slot empty. *)
+  let degraded = Array.make (params.threads + 1) 0 in
   (* A worker churns random slots with random sizes, then hands its array
      to a successor — Larson's thread-recycling stress. *)
   let rec worker chain round (slots : int array) ctx =
     let rng = M.ctx_rng ctx in
+    let fault = M.ctx_fault ctx in
     for _ = 1 to params.ops_per_round do
       let j = Rng.int rng (Array.length slots) in
       if slots.(j) <> 0 then alloc.A.free ctx slots.(j);
       let size = random_size rng in
-      let user = alloc.A.malloc ctx size in
-      M.touch_range ctx user ~len:size;
-      slots.(j) <- user
+      match alloc.A.malloc ctx size with
+      | user ->
+          M.touch_range ctx user ~len:size;
+          slots.(j) <- user
+      | exception Fault.Alloc_failure _ ->
+          Fault.note_degraded fault;
+          degraded.(chain) <- degraded.(chain) + 1;
+          slots.(j) <- 0
     done;
     if round < params.rounds then
       ignore
@@ -74,15 +86,20 @@ let run params =
   let main =
     M.spawn proc ~name:"main" (fun ctx ->
         let rng = M.ctx_rng ctx in
+        let fault = M.ctx_fault ctx in
         (* Pre-populate every slot, Larson-style. *)
         Array.iter
           (fun slots ->
             Array.iteri
               (fun j _ ->
                 let size = random_size rng in
-                let user = alloc.A.malloc ctx size in
-                M.touch_range ctx user ~len:size;
-                slots.(j) <- user)
+                match alloc.A.malloc ctx size with
+                | user ->
+                    M.touch_range ctx user ~len:size;
+                    slots.(j) <- user
+                | exception Fault.Alloc_failure _ ->
+                    Fault.note_degraded fault;
+                    degraded.(params.threads) <- degraded.(params.threads) + 1)
               slots)
           arrays;
         Array.iteri
@@ -121,4 +138,5 @@ let run params =
     live_bytes = alloc.A.stats.Mb_alloc.Astats.live_bytes;
     arenas = alloc.A.stats.Mb_alloc.Astats.arenas_created;
     foreign_frees = alloc.A.stats.Mb_alloc.Astats.foreign_frees;
+    degraded_ops = Array.fold_left ( + ) 0 degraded;
   }

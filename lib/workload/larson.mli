@@ -37,6 +37,9 @@ type result = {
   live_bytes : int;              (** user bytes still allocated at the end *)
   arenas : int;
   foreign_frees : int;
+  degraded_ops : int;            (** slot replacements left empty after
+                                     the fault layer's retries ran out;
+                                     0 unless a [--faults] plan is armed *)
 }
 
 val run : params -> result

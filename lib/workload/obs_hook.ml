@@ -8,4 +8,5 @@ let publish ~label m allocators =
     Mb_obs.Collect.publish ~label obs
   end;
   let chk = M.checker m in
-  if Mb_check.Checker.armed chk then Mb_check.Collect.publish ~label chk
+  if Mb_check.Checker.armed chk then Mb_check.Collect.publish ~label chk;
+  Mb_fault.Collect.publish ~label (M.fault m)

@@ -5,9 +5,10 @@
     machine's recorder and hands the recorder to {!Mb_obs.Collect} under a
     label describing the run's parameters; if the machine's dynamic
     checker is armed, the checker is likewise handed to
-    {!Mb_check.Collect} under the same label. A no-op when the machine
-    is unobserved and unchecked, so workloads stay oblivious to whether
-    anyone is watching. *)
+    {!Mb_check.Collect} under the same label, and an armed fault
+    injector to {!Mb_fault.Collect}. A no-op when the machine is
+    unobserved, unchecked and unstormed, so workloads stay oblivious to
+    whether anyone is watching. *)
 
 val publish :
   label:string -> Mb_machine.Machine.t -> Mb_alloc.Allocator.t list -> unit

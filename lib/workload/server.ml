@@ -1,6 +1,7 @@
 module M = Mb_machine.Machine
 module A = Mb_alloc.Allocator
 module Rng = Mb_prng.Rng
+module Fault = Mb_fault.Injector
 
 type params = {
   machine : M.config;
@@ -33,6 +34,7 @@ type result = {
   arenas : int;
   contended_ops : int;
   latency : probe_result option;
+  degraded_ops : int;
 }
 
 and probe_result = {
@@ -60,33 +62,63 @@ let run params =
   let conn_lock = M.Mutex.create m ~name:"conntab" () in
   let conns = Array.make params.connections 0 in
   let workers = ref [] in
-  let handle_request ctx rng =
+  let degraded = Array.make params.threads 0 in
+  (* Each allocation in a request degrades independently under a fault
+     plan: a failed state swap keeps the old state, a failed buffer is
+     skipped, a failed realloc keeps the original response — the
+     request itself always completes. *)
+  let handle_request ctx rng i =
+    let fault = M.ctx_fault ctx in
+    let note () =
+      Fault.note_degraded fault;
+      degraded.(i) <- degraded.(i) + 1
+    in
     let c = Rng.int rng params.connections in
     (* Swap the connection's state object: free the old one (allocated by
        some other thread) and install a fresh, zeroed one. *)
-    let fresh = A.calloc alloc ctx ~count:1 ~size:state_bytes in
-    M.Mutex.lock conn_lock ctx;
-    let old = conns.(c) in
-    conns.(c) <- fresh;
-    M.Mutex.unlock conn_lock ctx;
-    if old <> 0 then alloc.A.free ctx old;
+    (match A.calloc alloc ctx ~count:1 ~size:state_bytes with
+    | fresh ->
+        M.Mutex.lock conn_lock ctx;
+        let old = conns.(c) in
+        conns.(c) <- fresh;
+        M.Mutex.unlock conn_lock ctx;
+        if old <> 0 then alloc.A.free ctx old
+    | exception Fault.Alloc_failure _ -> note ());
     (* Short-lived request buffers. *)
     let nbufs = 2 + Rng.int rng 3 in
     let bufs =
-      List.init nbufs (fun _ ->
+      List.filter_map
+        (fun (_ : int) ->
           let size = Trace.server_size_dist rng in
-          let user = alloc.A.malloc ctx size in
-          M.touch_range ctx user ~len:(min size 256);
-          user)
+          match alloc.A.malloc ctx size with
+          | user ->
+              M.touch_range ctx user ~len:(min size 256);
+              Some user
+          | exception Fault.Alloc_failure _ ->
+              note ();
+              None)
+        (List.init nbufs Fun.id)
     in
     (* A response buffer that sometimes outgrows its first estimate, the
        classic realloc pattern. *)
-    let response = alloc.A.malloc ctx 128 in
     let response =
-      if Rng.int rng 4 = 0 then A.realloc alloc ctx response (256 + Rng.int rng 2048) else response
+      match alloc.A.malloc ctx 128 with
+      | user -> user
+      | exception Fault.Alloc_failure _ ->
+          note ();
+          0
+    in
+    let response =
+      if response <> 0 && Rng.int rng 4 = 0 then
+        match A.realloc alloc ctx response (256 + Rng.int rng 2048) with
+        | moved -> moved
+        | exception Fault.Alloc_failure _ ->
+            note ();
+            response
+      else response
     in
     M.work ctx params.think_cycles;
-    alloc.A.free ctx response;
+    if response <> 0 then alloc.A.free ctx response;
     List.iter (fun user -> alloc.A.free ctx user) bufs
   in
   let main =
@@ -96,7 +128,7 @@ let run params =
               M.spawn proc ~name:(Printf.sprintf "worker-%d" i) (fun wctx ->
                   let rng = M.ctx_rng wctx in
                   for _ = 1 to params.requests_per_thread do
-                    handle_request wctx rng
+                    handle_request wctx rng i
                   done))
         in
         workers := ws;
@@ -145,4 +177,5 @@ let run params =
     arenas = alloc.A.stats.Mb_alloc.Astats.arenas_created;
     contended_ops = alloc.A.stats.Mb_alloc.Astats.contended_ops;
     latency;
+    degraded_ops = Array.fold_left ( + ) 0 degraded;
   }

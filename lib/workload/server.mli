@@ -33,6 +33,10 @@ type result = {
   arenas : int;
   contended_ops : int;
   latency : probe_result option;  (** when [probe_latency] *)
+  degraded_ops : int;             (** request allocations skipped or kept
+                                      in place after the fault layer's
+                                      retries ran out; 0 unless a
+                                      [--faults] plan is armed *)
 }
 
 and probe_result = {

@@ -1,6 +1,7 @@
 module M = Mb_machine.Machine
 module A = Mb_alloc.Allocator
 module Rng = Mb_prng.Rng
+module Fault = Mb_fault.Injector
 
 type op =
   | Alloc of { slot : int; size : int }
@@ -69,15 +70,24 @@ let live_at_end t ~slots =
   Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 full
 
 let replay alloc ctx t ~slots =
+  let fault = M.ctx_fault ctx in
+  let degraded = ref 0 in
   let addrs = Array.make slots 0 in
   Array.iter
     (function
-      | Alloc { slot; size } ->
-          let user = alloc.A.malloc ctx size in
-          M.touch_range ctx user ~len:size;
-          addrs.(slot) <- user
+      | Alloc { slot; size } -> (
+          match alloc.A.malloc ctx size with
+          | user ->
+              M.touch_range ctx user ~len:size;
+              addrs.(slot) <- user
+          | exception Fault.Alloc_failure _ ->
+              Fault.note_degraded fault;
+              incr degraded;
+              addrs.(slot) <- 0)
       | Free { slot } ->
-          alloc.A.free ctx addrs.(slot);
+          (* The slot's alloc may itself have been skipped under faults. *)
+          if addrs.(slot) <> 0 then alloc.A.free ctx addrs.(slot);
           addrs.(slot) <- 0)
     t;
-  Array.iteri (fun slot addr -> if addr <> 0 then alloc.A.free ctx addrs.(slot)) addrs
+  Array.iteri (fun slot addr -> if addr <> 0 then alloc.A.free ctx addrs.(slot)) addrs;
+  !degraded

@@ -36,6 +36,9 @@ val validate : t -> slots:int -> (unit, string) result
 val live_at_end : t -> slots:int -> int
 (** Number of slots left allocated when the trace ends. *)
 
-val replay : Mb_alloc.Allocator.t -> Mb_machine.Machine.ctx -> t -> slots:int -> unit
+val replay : Mb_alloc.Allocator.t -> Mb_machine.Machine.ctx -> t -> slots:int -> int
 (** Runs the trace on an allocator, touching each allocation, and frees
-    any slots still live at the end. *)
+    any slots still live at the end. Returns the number of trace
+    allocations skipped after the fault layer's retries ran out (the
+    matching frees are skipped too); always 0 unless a [--faults] plan
+    is armed. *)

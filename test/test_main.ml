@@ -15,6 +15,7 @@ let () =
       ("report", Test_report.suite);
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
+      ("fault", Test_fault.suite);
       ("extensions", Test_extensions.suite);
       ("experiments", Test_experiments.suite);
     ]

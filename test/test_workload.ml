@@ -140,7 +140,7 @@ let test_trace_replay_drains () =
   let alloc = (Core.Factory.ptmalloc ()).Core.Factory.create p in
   let rng = Core.Rng.create ~seed:12 in
   let trace = Core.Trace.generate ~rng ~ops:2_000 ~slots:100 () in
-  ignore (M.spawn p (fun ctx -> Core.Trace.replay alloc ctx trace ~slots:100));
+  ignore (M.spawn p (fun ctx -> ignore (Core.Trace.replay alloc ctx trace ~slots:100)));
   M.run m;
   Alcotest.(check int) "live zero after replay" 0 alloc.Core.Allocator.stats.Core.Astats.live_bytes
 
