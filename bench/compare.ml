@@ -1,0 +1,121 @@
+(* Kernel regression gate: compare a freshly generated kernels JSON
+   against the committed baseline.
+
+     compare.exe BASELINE.json FRESH.json [THRESHOLD]
+
+   Absolute ns/run numbers are not comparable across hosts, so the gate
+   works on per-kernel ratios fresh/baseline normalized by the *median*
+   ratio: the median cancels the overall host-speed factor (and most of
+   a shared noise term), leaving each kernel's speed relative to the
+   rest of the fleet. A kernel whose normalized ratio exceeds THRESHOLD
+   (default 1.10, i.e. >10% slower than the fleet moved) is a
+   regression and the exit status is 1. A kernel present in the
+   baseline but missing from the fresh run also fails — a silently
+   dropped benchmark must not pass the gate. Kernels only in the fresh
+   file are listed but don't fail (new benchmarks land before their
+   baseline does). Exit 2 on usage or parse errors.
+
+   The parser is deliberately minimal: it reads exactly the flat
+   ["kernels_ns_per_run": { "name": number, ... }] object the bench
+   harness writes (bench/main.ml), not general JSON. *)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error e -> die "compare: cannot read %s: %s" path e
+
+(* Extract the flat  "kernels_ns_per_run": { "k": 1.5, ... }  object. *)
+let kernels_of_json path =
+  let s = read_file path in
+  let field = "\"kernels_ns_per_run\"" in
+  let rec find i =
+    if i + String.length field > String.length s then
+      die "compare: %s: no kernels_ns_per_run field" path
+    else if String.sub s i (String.length field) = field then i
+    else find (i + 1)
+  in
+  let start = find 0 in
+  let lbrace =
+    match String.index_from_opt s start '{' with
+    | Some i -> i
+    | None -> die "compare: %s: malformed kernels_ns_per_run" path
+  in
+  let rbrace =
+    match String.index_from_opt s lbrace '}' with
+    | Some i -> i
+    | None -> die "compare: %s: unterminated kernels_ns_per_run" path
+  in
+  let body = String.sub s (lbrace + 1) (rbrace - lbrace - 1) in
+  String.split_on_char ',' body
+  |> List.filter_map (fun entry ->
+         match String.split_on_char ':' (String.trim entry) with
+         | [ name; value ] -> (
+             let name = String.trim name in
+             let name =
+               if String.length name >= 2 && name.[0] = '"' then
+                 String.sub name 1 (String.length name - 2)
+               else die "compare: %s: unquoted kernel name %S" path name
+             in
+             match float_of_string_opt (String.trim value) with
+             | Some v -> Some (name, v)
+             | None -> die "compare: %s: bad number for %s" path name)
+         | [] | [ _ ] | _ :: _ :: _ ->
+             if String.trim entry = "" then None
+             else die "compare: %s: malformed entry %S" path entry)
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> die "compare: no kernels in common"
+  | sorted ->
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+
+let () =
+  let base_path, fresh_path, threshold =
+    match Array.to_list Sys.argv with
+    | [ _; b; f ] -> (b, f, 1.10)
+    | [ _; b; f; t ] -> (
+        match float_of_string_opt t with
+        | Some t when t > 1.0 -> (b, f, t)
+        | _ -> die "compare: threshold must be a float > 1.0")
+    | _ -> die "usage: compare BASELINE.json FRESH.json [THRESHOLD]"
+  in
+  let base = kernels_of_json base_path in
+  let fresh = kernels_of_json fresh_path in
+  let missing =
+    List.filter (fun (k, _) -> not (List.mem_assoc k fresh)) base |> List.map fst
+  in
+  let added =
+    List.filter (fun (k, _) -> not (List.mem_assoc k base)) fresh |> List.map fst
+  in
+  let common =
+    List.filter_map
+      (fun (k, b) ->
+        match List.assoc_opt k fresh with
+        | Some f when b > 0. -> Some (k, b, f, f /. b)
+        | _ -> None)
+      base
+    |> List.sort compare
+  in
+  let m = median (List.map (fun (_, _, _, r) -> r) common) in
+  Printf.printf "compare: %d kernels, host factor (median ratio) %.3f, threshold %.2f\n"
+    (List.length common) m threshold;
+  let regressions = ref [] in
+  List.iter
+    (fun (k, b, f, r) ->
+      let norm = r /. m in
+      let flag = if norm > threshold then (regressions := k :: !regressions; "  <-- REGRESSION") else "" in
+      Printf.printf "  %-16s %14.1f -> %14.1f ns/run  ratio %.3f  normalized %.3f%s\n"
+        k b f r norm flag)
+    common;
+  List.iter (Printf.printf "  %-16s only in fresh run (no baseline yet)\n") added;
+  List.iter (Printf.printf "  %-16s MISSING from fresh run\n") missing;
+  if missing <> [] || !regressions <> [] then begin
+    Printf.printf "compare: FAIL (%d regression(s), %d missing)\n"
+      (List.length !regressions) (List.length missing);
+    exit 1
+  end
+  else print_endline "compare: OK"

@@ -59,6 +59,8 @@ type t = {
       (* engine's delay hand-off cell, cached so the hot path is
          [m.dcell.cell_time <- ns; Engine.delay_pending m.engine] — an
          unboxed store plus an allocation-free constant effect *)
+  eng_shards : int;  (* event shards in the engine: shard 0 is "main"
+                        (spawns, latches), shard 1+k belongs to cpu k *)
   cache : Coherence.t;
   root_rng : Rng.t;
   cycle_ns : float;
@@ -178,10 +180,27 @@ let create ?(seed = 42) ?obs ?check ?fault (config : config) =
   let obs = match obs with Some r -> r | None -> Mb_obs.Ctl.recorder () in
   let check = match check with Some c -> c | None -> Mb_check.Ctl.checker () in
   let fault = match fault with Some f -> f | None -> Mb_fault.Ctl.injector () in
-  let engine = Engine.create ~obs () in
+  (* One event shard per simulated CPU plus one for machine-level
+     events (spawns, latch wakeups). The schedule is identical for any
+     shard count — the engine merges shards by global (time, seq) — so
+     MALLOC_REPRO_SHARDS exists purely to let tests and CI prove that. *)
+  let eng_shards =
+    match Sys.getenv_opt "MALLOC_REPRO_SHARDS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> invalid_arg "MALLOC_REPRO_SHARDS: expected a positive integer")
+    | None -> config.cpus + 1
+  in
+  let engine = Engine.create ~obs ~shards:eng_shards () in
+  Engine.name_shard engine 0 "main";
+  for k = 1 to eng_shards - 1 do
+    Engine.name_shard engine k ("cpu" ^ string_of_int (k - 1))
+  done;
   { config;
     engine;
     dcell = Engine.delay_cell engine;
+    eng_shards;
     cache = Coherence.create config.cache ~cpus:config.cpus;
     root_rng = Rng.create ~seed;
     cycle_ns;
@@ -260,7 +279,8 @@ let flush_observations t =
         end)
       t.mutexes;
     Hashtbl.iter (fun key v -> Obs.set t.obs key v) acc
-  end
+  end;
+  Engine.flush_observations t.engine
 
 let run t =
   Engine.run t.engine;
@@ -313,7 +333,14 @@ let dispatch m cpu =
           invalid_arg "Machine: dispatching a thread that never parked";
         th.resume <- no_resume;
         th.hot.run_start_ns <- Engine.now m.engine;
-        Engine.at m.engine (Engine.now m.engine +. cycles_to_ns m switch) resume
+        (* The post-switch resume is this CPU's wakeup: route it to the
+           CPU's own shard. When the waking event ran elsewhere (a
+           remote unlock, the spawner's CPU) this is the cross-shard
+           mailbox push the sched.shard.cross_wakeups counter sees. *)
+        Engine.at m.engine
+          ~shard:((cpu.cpu_id + 1) mod m.eng_shards)
+          (Engine.now m.engine +. cycles_to_ns m switch)
+          resume
       end
 
 let kick m = Array.iter (fun cpu -> dispatch m cpu) m.cpus
@@ -489,11 +516,50 @@ let mutex_try_lock mu th =
 (* Spin-poll the lock word every 8 cycles until it looks free or the
    budget runs out; each probe is one simulated work item. Top-level so
    the recursion is a direct call, not a per-spin closure. *)
-let rec spin_on mu th budget =
+let rec spin_on_steps mu th budget =
   if budget > 0 && (match mu.owner with Some _ -> true | None -> false) then begin
     let step = if budget < 8 then budget else 8 in
     work_exact_cycles th step;
-    spin_on mu th (budget - step)
+    spin_on_steps mu th (budget - step)
+  end
+
+(* The probes must land at exactly the simulated times the step loop
+   above produces, but a probe needs no thread state — so instead of a
+   full effect suspend/resume per 8-cycle step (the costliest operation
+   in the simulator, and under heavy contention the bulk of all
+   events), the thread suspends once and a self-re-arming engine thunk
+   does the polling, re-entering the thread in place on the final
+   probe. Each probe replicates [work_exact_cycles]'s fast branch:
+   account the cycles at wake time, then decide. The 64-cycle slack in
+   the entry guard keeps the quantum strictly positive through every
+   probe, so the fast branch is exact (no preempt, no quantum refresh);
+   the rare spin that straddles a quantum boundary takes the step loop,
+   which handles preemption. *)
+let spin_on mu th budget =
+  if budget > 0 && (match mu.owner with Some _ -> true | None -> false) then begin
+    let m = th.tproc.pm in
+    if float_of_int (budget + 64) >= th.hot.quantum_left then spin_on_steps mu th budget
+    else
+      Engine.suspend m.engine (fun resume ->
+          let remaining = ref budget in
+          let rec arm () =
+            let b = !remaining in
+            let step = if b < 8 then b else 8 in
+            m.dcell.Mb_sim.Pqueue.cell_time <- float_of_int step *. m.cycle_ns;
+            Engine.after_pending m.engine probe
+          and probe () =
+            let b = !remaining in
+            let step = if b < 8 then b else 8 in
+            let fc = float_of_int step in
+            th.hot.cpu_cycles <- th.hot.cpu_cycles +. fc;
+            m.mh.busy <- m.mh.busy +. fc;
+            th.hot.quantum_left <- th.hot.quantum_left -. fc;
+            remaining := b - step;
+            if !remaining > 0 && (match mu.owner with Some _ -> true | None -> false)
+            then arm ()
+            else resume ()
+          in
+          arm ())
   end
 
 (* Contended path: spin (on SMP, if configured), then either race a CAS
@@ -520,7 +586,9 @@ let rec mutex_lock_slow mu th =
       th.state <- Blocked;
       if Obs.tracing m.obs then
         Obs.instant m.obs ~lane:th.lane ~name:("block " ^ mu.mname)
-          ~ts_ns:(Engine.now m.engine) ();
+          ~ts_ns:(Engine.now m.engine)
+          ~args:[ ("cpu", string_of_int th.on_cpu) ]
+          ();
       Engine.set_wait m.engine th.lane ~why:mu.mblocked ~waits_on:owner.lane;
       Queue.push th mu.waiters;
       release_cpu m th;

@@ -2,19 +2,44 @@ module Obs = Mb_obs.Recorder
 
 type pid = int
 
-(* A pending event. Suspended computations are stored as bare
-   continuations rather than [fun () -> continue k ()] closures: the
-   hot Delay path then allocates one two-word variant per event instead
-   of a closure, and the run loop resumes the continuation directly. *)
-type task =
-  | Thunk of (unit -> unit)
-  | Resume of (unit, unit) Effect.Deep.continuation
+(* Pending events live in per-CPU {!Shard} queues merged by a
+   deterministic (time, seq) frontier; see shard.ml. The engine stores
+   each event's payload — a bare continuation for a suspended process,
+   a thunk for [at]/[spawn] — in its own arena and files only a small
+   integer with the queue:
+
+       v = (arena slot lsl 1) lor tag      tag 1 = thunk, 0 = continuation
+
+   The [Obj.t] arena replaces the old two-word [Thunk]/[Resume] variant
+   around every event: the hot Delay path now allocates nothing beyond
+   the runtime's continuation, and its only barriered store is parking
+   the payload in its slot. The tag bit keeps the decode honest — it is
+   the single source of truth for what each slot holds, and the only
+   two writers ([at]/[spawn] vs the Delay/Park handlers) each stamp
+   their own kind. *)
+
+(* 2^slot_bits bounds the number of *pending* events. slot_bits + 1
+   (the tag) must stay <= Shard.vbits. *)
+let slot_bits = 20
+let max_slots = 1 lsl slot_bits
 
 type t = {
   clock : Pqueue.cell;  (* all-float cell: advancing the clock never boxes *)
   scratch : Pqueue.cell;  (* resume-time scratch for the Delay hot path *)
-  peek : Pqueue.cell;  (* scratch for reading the queue top in delay_pending *)
-  queue : task Pqueue.t;
+  queue : Shard.t;
+  (* Shard of the event being executed: pushes without an explicit
+     [~shard] inherit it, so a process's delays stay on the CPU shard
+     that dispatched it and migrate naturally with the dispatch. *)
+  mutable cur_shard : int;
+  shard_names : string array;
+  mutable cross_wakeups : int;  (* explicit pushes onto a foreign shard *)
+  (* Event payload arena + free-list stack (same discipline the old
+     Pqueue arena used: popped slots are not cleared — the write costs
+     more than the bounded retention it avoids — and are reused by the
+     next push). *)
+  mutable slots : Obj.t array;
+  mutable free : int array;
+  mutable free_top : int;
   mutable next_pid : int;
   mutable live : int;
   (* Processes currently suspended, indexed by pid: a flat array beats a
@@ -85,11 +110,24 @@ type _ Effect.t += Park : ((unit -> unit) -> unit) -> unit Effect.t
    machine layer's hot path — see [delay_cell]/[delay_pending]. *)
 type _ Effect.t += Tick : unit Effect.t
 
-let create ?(obs = Obs.null) () =
+(* Constant-constructor twin of [Park] for engine-level pollers: the
+   register callback travels through [pending_register] (a store, not
+   an effect-block allocation), and the handler does none of Park's
+   bookkeeping — no parked flags, no trace instants. The resume it
+   hands out re-enters the process with a direct [continue], so it must
+   be called exactly once, from an event context (a queued thunk). *)
+type _ Effect.t += Suspend : unit Effect.t
+
+let create ?(obs = Obs.null) ?(shards = 1) () =
   { clock = Pqueue.make_cell ();
     scratch = Pqueue.make_cell ();
-    peek = Pqueue.make_cell ();
-    queue = Pqueue.create ();
+    queue = Shard.create ~shards;
+    cur_shard = 0;
+    shard_names = Array.init shards string_of_int;
+    cross_wakeups = 0;
+    slots = [||];
+    free = [||];
+    free_top = 0;
     next_pid = 0;
     live = 0;
     parked = Array.make 16 false;
@@ -105,13 +143,62 @@ let observer t = t.obs
 
 let now t = t.clock.Pqueue.cell_time
 
+let shards t = Shard.shards t.queue
+
+let name_shard t i name = t.shard_names.(i) <- name
+
 let name_of t pid =
   let n = t.names.(pid) in
   if n = "" then Printf.sprintf "proc-%d" pid else n
 
-let at t time thunk =
+(* --- event payload arena ---------------------------------------------- *)
+
+let grow_arena t =
+  let cap = Array.length t.slots in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  if ncap > max_slots then invalid_arg "Engine: too many pending events";
+  let nslots = Array.make ncap (Obj.repr 0) in
+  Array.blit t.slots 0 nslots 0 cap;
+  (* Every slot below cap is live or on the free stack, so the fresh
+     slots cap .. ncap-1 extend the surviving free stack. *)
+  let nfree = Array.make ncap 0 in
+  Array.blit t.free 0 nfree 0 t.free_top;
+  for s = cap to ncap - 1 do
+    nfree.(t.free_top + s - cap) <- s
+  done;
+  t.slots <- nslots;
+  t.free <- nfree;
+  t.free_top <- t.free_top + (ncap - cap)
+
+let alloc_slot t payload =
+  if t.free_top = 0 then grow_arena t;
+  let ft = t.free_top - 1 in
+  t.free_top <- ft;
+  let slot = Array.unsafe_get t.free ft in
+  Array.unsafe_set t.slots slot payload;
+  slot
+
+(* --- scheduling entry points ------------------------------------------ *)
+
+let push_thunk t sh time thunk =
   if time < t.clock.Pqueue.cell_time then invalid_arg "Engine.at: time in the past";
-  Pqueue.push t.queue ~time (Thunk thunk)
+  if sh <> t.cur_shard then t.cross_wakeups <- t.cross_wakeups + 1;
+  let slot = alloc_slot t (Obj.repr (thunk : unit -> unit)) in
+  Shard.push_at t.queue ~shard:sh ~time ~v:((slot lsl 1) lor 1)
+
+let at t ?shard time thunk =
+  let sh = match shard with Some s -> s | None -> t.cur_shard in
+  push_thunk t sh time thunk
+
+(* Cancellation is lazy: the event stays queued and checks its armed
+   flag when it fires, so cancelling is O(1) and the queue never
+   learns about removal. The closure pair costs two small allocations —
+   cancellable timers are cold compared to delays. *)
+let at_cancel t ?shard time thunk =
+  let armed = ref true in
+  let sh = match shard with Some s -> s | None -> t.cur_shard in
+  push_thunk t sh time (fun () -> if !armed then thunk ());
+  fun () -> armed := false
 
 let delay d = Effect.perform (Delay d)
 
@@ -127,24 +214,36 @@ let delay_cell t = t.scratch
    numbers smaller than they would have been, which is invisible — seqs
    only order events relative to each other and stay monotonic. This
    skips the effect perform and the runtime's continuation capture, by
-   far the most expensive parts of a simulated delay. *)
+   far the most expensive parts of a simulated delay.
+
+   The comparison runs on integer time keys: the key image of floats
+   is strictly monotone (see Pqueue), [Shard.min_key] is already a
+   key, and [max_int] — the empty sentinel — is above every real key,
+   so one branchless int compare covers the empty-queue case too. *)
 let delay_pending t =
   let clock = t.clock.Pqueue.cell_time in
   let nt = clock +. t.scratch.Pqueue.cell_time in
-  let fast =
-    if Pqueue.is_empty t.queue then true
-    else begin
-      Pqueue.read_top_time t.queue t.peek;
-      nt < t.peek.Pqueue.cell_time
-    end
-  in
-  if fast then begin
+  if Int64.to_int (Int64.bits_of_float nt) lxor min_int < Shard.min_key t.queue then begin
     if nt < clock then invalid_arg "Engine.delay: negative delay";
     t.clock.Pqueue.cell_time <- nt
   end
   else Effect.perform Tick
 
 let park register = Effect.perform (Park register)
+
+let suspend t register =
+  t.pending_register <- register;
+  Effect.perform Suspend
+
+(* [at] relative to now, with the duration taken from the scratch cell:
+   the caller stores it there (an unboxed float write) so none crosses
+   the call boundary boxed. Built for self-re-arming poller thunks (see
+   [suspend]); the duration must be non-negative — pollers step time
+   forward by construction, so no past check on this path. *)
+let after_pending t thunk =
+  t.scratch.Pqueue.cell_time <- t.clock.Pqueue.cell_time +. t.scratch.Pqueue.cell_time;
+  let slot = alloc_slot t (Obj.repr (thunk : unit -> unit)) in
+  Shard.push t.queue ~shard:t.cur_shard t.scratch ~v:((slot lsl 1) lor 1)
 
 let yield () = delay 0.
 
@@ -179,7 +278,8 @@ let set_wait t pid ~why ~waits_on =
    engine's unboxed [scratch] cell ([Delay]) or the [pending_register]
    field ([Park]) — both stores, not allocations. A Delay perform thus
    allocates only the effect value itself and the runtime's
-   continuation. *)
+   continuation; the continuation is filed in the event arena with no
+   wrapper. *)
 let start t pid body =
   let open Effect.Deep in
   let finish () =
@@ -194,7 +294,10 @@ let start t pid body =
         (* scratch already holds clock + d (written by effc below). *)
         if t.scratch.Pqueue.cell_time < t.clock.Pqueue.cell_time then
           discontinue k (Invalid_argument "Engine.delay: negative delay")
-        else Pqueue.push_cell t.queue t.scratch (Resume k))
+        else begin
+          let slot = alloc_slot t (Obj.repr k) in
+          Shard.push t.queue ~shard:t.cur_shard t.scratch ~v:(slot lsl 1)
+        end)
   in
   let on_park : ((unit, unit) continuation -> unit) option =
     Some
@@ -203,18 +306,37 @@ let start t pid body =
         t.pending_register <- no_register;
         set_parked t pid;
         if Obs.tracing t.obs then
-          Obs.instant t.obs ~lane:pid ~name:"park" ~ts_ns:t.clock.Pqueue.cell_time ();
+          Obs.instant t.obs ~lane:pid ~name:"park" ~ts_ns:t.clock.Pqueue.cell_time
+            ~args:[ ("shard", t.shard_names.(t.cur_shard)) ]
+            ();
         let resumed = ref false in
         let resume () =
           if !resumed then
             invalid_arg (Printf.sprintf "Engine: process %s resumed twice" (name_of t pid));
           resumed := true;
           clear_parked t pid;
+          (* The continuation re-queues on the *waker's* shard: a
+             cross-CPU wakeup thus lands in the mailbox of the CPU
+             that issued it, and the frontier replays the global
+             order. *)
           if Obs.tracing t.obs then
-            Obs.instant t.obs ~lane:pid ~name:"unpark" ~ts_ns:t.clock.Pqueue.cell_time ();
-          Pqueue.push_cell t.queue t.clock (Resume k)
+            Obs.instant t.obs ~lane:pid ~name:"unpark" ~ts_ns:t.clock.Pqueue.cell_time
+              ~args:[ ("shard", t.shard_names.(t.cur_shard)) ]
+              ();
+          let slot = alloc_slot t (Obj.repr k) in
+          Shard.push t.queue ~shard:t.cur_shard t.clock ~v:(slot lsl 1)
         in
         register resume)
+  in
+  let on_suspend : ((unit, unit) continuation -> unit) option =
+    Some
+      (fun k ->
+        (* Park minus all bookkeeping: the process is only ever gone
+           for the lifetime of its own pending poller events, so the
+           stall/trace machinery never needs to know. *)
+        let register = t.pending_register in
+        t.pending_register <- no_register;
+        register (fun () -> Effect.Deep.continue k ()))
   in
   let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
     fun eff ->
@@ -229,6 +351,7 @@ let start t pid body =
      | Park register ->
          t.pending_register <- register;
          on_park
+     | Suspend -> on_suspend
      | _ -> None
   in
   match_with
@@ -245,7 +368,7 @@ let start t pid body =
       effc
     }
 
-let spawn t ?name body =
+let spawn t ?name ?shard body =
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
   let cap = Array.length t.parked in
@@ -270,7 +393,8 @@ let spawn t ?name body =
     Obs.set_lane t.obs pid (name_of t pid);
     Obs.instant t.obs ~lane:pid ~name:"spawn" ~ts_ns:t.clock.Pqueue.cell_time ()
   end;
-  Pqueue.push t.queue ~time:t.clock.Pqueue.cell_time (Thunk (fun () -> start t pid body));
+  let sh = match shard with Some s -> s | None -> t.cur_shard in
+  push_thunk t sh t.clock.Pqueue.cell_time (fun () -> start t pid body);
   pid
 
 (* Build the structured stall report: every parked process with its
@@ -326,17 +450,47 @@ let stall_report t =
 
 let run t =
   let rec loop () =
-    if Pqueue.is_empty t.queue then begin
+    if Shard.is_empty t.queue then begin
       if t.parked_count > 0 then raise (Stalled (stall_report t))
     end
     else begin
-      Pqueue.read_top_time t.queue t.clock;
-      (match Pqueue.pop_payload t.queue with
-      | Thunk f -> f ()
-      | Resume k -> Effect.Deep.continue k ());
+      (* Pop writes the event time straight into the clock cell. The
+         popped value decodes as (arena slot, tag); the slot returns
+         to the free stack before the payload runs, so the event's own
+         pushes can reuse it. *)
+      let v = Shard.pop t.queue t.clock in
+      t.cur_shard <- Shard.popped_shard t.queue;
+      let slot = v lsr 1 in
+      let payload = Array.unsafe_get t.slots slot in
+      Array.unsafe_set t.free t.free_top slot;
+      t.free_top <- t.free_top + 1;
+      if v land 1 = 0 then
+        Effect.Deep.continue (Obj.obj payload : (unit, unit) Effect.Deep.continuation) ()
+      else (Obj.obj payload : unit -> unit) ();
       loop ()
     end
   in
   loop ()
 
 let live t = t.live
+
+(* Snapshot scheduler counters into the recorder — called by the layer
+   that owns the run (Machine.flush_observations), mirroring its
+   discipline: everything here is maintained by the simulation anyway,
+   so metering adds no hot-path cost. *)
+let flush_observations t =
+  if Obs.metering t.obs then begin
+    let n = Shard.shards t.queue in
+    Obs.set t.obs "sched.shards" n;
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      let p = Shard.shard_pushes t.queue i in
+      total := !total + p;
+      Obs.set t.obs (Printf.sprintf "sched.shard.%s.pushes" t.shard_names.(i)) p
+    done;
+    Obs.set t.obs "sched.shard.pushes" !total;
+    Obs.set t.obs "sched.shard.ring_hits" (Shard.ring_hits t.queue);
+    Obs.set t.obs "sched.shard.wheel_hits" (Shard.wheel_hits t.queue);
+    Obs.set t.obs "sched.shard.heap_spills" (Shard.heap_spills t.queue);
+    Obs.set t.obs "sched.shard.cross_wakeups" t.cross_wakeups
+  end

@@ -49,9 +49,13 @@ val stall_message : stall -> string
 (** Multi-line human-readable rendering of a stall report: a summary
     line, one line per waiter, and the deadlock cycle if one exists. *)
 
-val create : ?obs:Mb_obs.Recorder.t -> unit -> t
+val create : ?obs:Mb_obs.Recorder.t -> ?shards:int -> unit -> t
 (** [create ()] makes an idle engine at time 0. [obs] (default
-    {!Mb_obs.Recorder.null}) receives the engine's trace events. *)
+    {!Mb_obs.Recorder.null}) receives the engine's trace events.
+    [shards] (default 1) is the number of per-CPU event queues; the
+    schedule is *identical* for every shard count (events are merged
+    by a global (time, seq) frontier — see {!Shard}), so sharding only
+    affects locality and the [sched.shard.*] counters. *)
 
 val observer : t -> Mb_obs.Recorder.t
 (** The recorder this engine traces into. *)
@@ -59,17 +63,35 @@ val observer : t -> Mb_obs.Recorder.t
 val now : t -> float
 (** Current simulated time. *)
 
-val spawn : t -> ?name:string -> (unit -> unit) -> pid
+val shards : t -> int
+(** Number of event shards this engine was created with. *)
+
+val name_shard : t -> int -> string -> unit
+(** [name_shard t i name] labels shard [i] in counters and trace
+    arguments (the machine layer names them ["main"], ["cpu0"], ...).
+    Defaults to the decimal index. *)
+
+val spawn : t -> ?name:string -> ?shard:int -> (unit -> unit) -> pid
 (** [spawn t f] registers [f] as a process starting at the current time.
     May be called before {!run} or from within a running process. If [f]
     raises, the exception propagates out of {!run}. [name] labels the
     process in traces and error messages; when omitted, the default
     ["proc-<pid>"] is only materialized if something actually needs it,
-    so unobserved runs never pay for the formatting. *)
+    so unobserved runs never pay for the formatting. [shard] files the
+    start event on a specific shard (default: the shard of the event
+    that is spawning). *)
 
-val at : t -> float -> (unit -> unit) -> unit
+val at : t -> ?shard:int -> float -> (unit -> unit) -> unit
 (** [at t time thunk] schedules a bare callback (not a process: it must not
-    perform {!delay} or {!park}) at absolute [time]. *)
+    perform {!delay} or {!park}) at absolute [time]. [shard] routes the
+    event to a specific per-CPU queue (default: the current event's
+    shard); an explicit foreign shard counts as a cross-shard wakeup. *)
+
+val at_cancel : t -> ?shard:int -> float -> (unit -> unit) -> (unit -> unit)
+(** Like {!at}, but returns a cancel function. Cancellation is lazy:
+    the event stays queued and is skipped when it fires, so cancelling
+    costs O(1) and never perturbs the schedule of other events. Safe to
+    call after the event fired (a no-op), and idempotent. *)
 
 val run : t -> unit
 (** Drain the event queue. Returns when no events remain and no process is
@@ -114,7 +136,31 @@ val park : ((unit -> unit) -> unit) -> unit
     continue at the then-current simulated time; calling it twice raises
     [Invalid_argument]. *)
 
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+(** Low-overhead {!park} for engine-level pollers: no parked-process
+    bookkeeping, no trace instants, and the resume function re-enters
+    the process with a direct continue instead of re-queueing it — so
+    it must be called {e exactly once}, from a queued-thunk context
+    (e.g. a callback scheduled with {!after_pending}), and the caller
+    must keep at least one pending event alive until then (the stall
+    detector does not know about suspended-but-unparked processes).
+    The machine layer's lock spinner is the intended client. *)
+
+val after_pending : t -> (unit -> unit) -> unit
+(** {!at} relative to now, with the duration taken from the engine's
+    {!delay_cell} — the unboxed hand-off twin of {!at} for hot poller
+    re-arms: [(delay_cell e).cell_time <- ns; after_pending e thunk].
+    The duration must be non-negative (not checked on this path). The
+    event files on the current event's shard. *)
+
 val yield : unit -> unit
 (** Re-enter the event queue at the current time: lets other processes
     scheduled for "now" run first. Equivalent to [delay 0.] but conveys
     intent. *)
+
+val flush_observations : t -> unit
+(** Snapshot scheduler counters ([sched.shards], [sched.shard.pushes],
+    [sched.shard.<name>.pushes], [sched.shard.ring_hits],
+    [sched.shard.wheel_hits], [sched.shard.heap_spills],
+    [sched.shard.cross_wakeups]) into the recorder. No-op unless
+    metering is on; call once at end of run (the machine layer does). *)

@@ -1,0 +1,155 @@
+(* Per-CPU event shards with a deterministic merge frontier.
+
+   Each shard is a {!Timing_wheel}. A single *global* sequence counter
+   stamps every push, and the frontier picks the next event by
+   lexicographic (time key, packed seq) across shard heads — so the pop
+   order is exactly the (time, seq) order a single global queue would
+   produce, whatever the sharding. Sharding is pure mechanics: it keeps
+   each simulated CPU's events in their own small, cache-friendly
+   structure, and it is what the per-shard sched counters hang off.
+
+   The head (key, pk) of every shard is cached in flat arrays, and the
+   current minimum is cached again in [min_key]/[min_pk]/[min_shard]:
+   a push only compares its shard's (possibly new) head against the
+   cached minimum, and the engine's delay fast path reads [min_key]
+   with no branching at all ([max_int] stands for "empty"). Only a pop
+   rescans — over at most a handful of shards. *)
+
+(* Low bits of pk carry the caller's payload value; the global sequence
+   number lives above them. 2^vbits bounds the payload, and seq gets
+   63 - vbits = 42 bits — engine lifetimes are nowhere near either. *)
+let vbits = 21
+let v_mask = (1 lsl vbits) - 1
+
+type t = {
+  wheels : Timing_wheel.t array;
+  heads_key : int array;  (* cached head key per shard, max_int = empty *)
+  heads_pk : int array;
+  pushes : int array;     (* per-shard push counters, for sched.shard.* *)
+  mutable min_shard : int;
+  mutable min_key : int;  (* = heads_key.(min_shard) *)
+  mutable min_pk : int;
+  mutable next_seq : int;
+  mutable size : int;
+  mutable popped : int;   (* shard the last pop came from *)
+}
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Shard.create: need at least one shard";
+  { wheels = Array.init shards (fun _ -> Timing_wheel.create ());
+    heads_key = Array.make shards max_int;
+    heads_pk = Array.make shards max_int;
+    pushes = Array.make shards 0;
+    min_shard = 0;
+    min_key = max_int;
+    min_pk = max_int;
+    next_seq = 0;
+    size = 0;
+    popped = 0;
+  }
+
+let shards t = Array.length t.wheels
+let length t = t.size
+let is_empty t = t.size = 0
+let min_key t = t.min_key
+let popped_shard t = t.popped
+
+module Tw = Timing_wheel
+
+(* One push per simulated event: the wheel's record is exposed so the
+   ring fast-path test and all bookkeeping are direct field accesses,
+   with a single call into {!Timing_wheel} to do the actual insert.
+   Head maintenance is *analytic* — the global sequence counter makes
+   the fresh pk strictly greater than every pk already queued, so the
+   new item is its shard's head iff [key < cached head key], and the
+   global minimum iff additionally [key < min_key]; no peeks needed. *)
+let push_key t ~shard key v =
+  let w = Array.unsafe_get t.wheels shard in
+  let pk = (t.next_seq lsl vbits) lor v in
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  Array.unsafe_set t.pushes shard (Array.unsafe_get t.pushes shard + 1);
+  w.Tw.size <- w.Tw.size + 1;
+  if key < w.Tw.gate
+     || (w.Tw.rsize = w.Tw.size - 1 && w.Tw.rsize < Tw.ring_target) then begin
+    w.Tw.ring_hits <- w.Tw.ring_hits + 1;
+    Tw.ring_insert w key pk
+  end
+  else begin
+    Tw.push_overflow w key pk;
+    if w.Tw.rsize = 0 then Tw.advance w
+  end;
+  if key < Array.unsafe_get t.heads_key shard then begin
+    Array.unsafe_set t.heads_key shard key;
+    Array.unsafe_set t.heads_pk shard pk;
+    if key < t.min_key then begin
+      t.min_shard <- shard;
+      t.min_key <- key;
+      t.min_pk <- pk
+    end
+  end
+
+(* The key conversion is spelled out here rather than calling
+   {!Timing_wheel.key_of_time}: a float crossing a non-inlined call
+   boundary is boxed, and this is one push per simulated event (same
+   reasoning as Pqueue.push_cell). *)
+let push t ~shard (cell : Pqueue.cell) ~v =
+  push_key t ~shard (Int64.to_int (Int64.bits_of_float cell.Pqueue.cell_time) lxor min_int) v
+
+let push_at t ~shard ~time ~v =
+  push_key t ~shard (Int64.to_int (Int64.bits_of_float time) lxor min_int) v
+
+(* Pop the frontier minimum: write its time into [cell] (unboxed store,
+   as in Pqueue.read_top_time) and return the payload value. The losing
+   shards' heads are untouched, so only the popped shard refreshes and
+   one scan re-establishes the argmin. Precondition: not empty. *)
+let pop t (cell : Pqueue.cell) =
+  let s = t.min_shard in
+  t.popped <- s;
+  (* Inlined inverse key conversion (see push): writing the all-float
+     cell is an unboxed store, but a float returned from a non-inlined
+     helper call would be boxed first. *)
+  cell.Pqueue.cell_time <-
+    Int64.float_of_bits (Int64.logand (Int64.of_int (t.min_key lxor min_int)) 0x7FFF_FFFF_FFFF_FFFFL);
+  let v = t.min_pk land v_mask in
+  let w = Array.unsafe_get t.wheels s in
+  (* Inlined ring pop: the head of a non-empty wheel always sits in
+     the ring ([advance] restores that invariant whenever the ring
+     drains), so retiring it and reading the next head are plain
+     field/array accesses. *)
+  let rsize = w.Tw.rsize - 1 in
+  w.Tw.rhead <- (w.Tw.rhead + 1) land (Array.length w.Tw.rkeys - 1);
+  w.Tw.rsize <- rsize;
+  w.Tw.size <- w.Tw.size - 1;
+  t.size <- t.size - 1;
+  if rsize = 0 && w.Tw.size > 0 then Tw.advance w;
+  if w.Tw.rsize = 0 then begin
+    Array.unsafe_set t.heads_key s max_int;
+    Array.unsafe_set t.heads_pk s max_int
+  end
+  else begin
+    let h = w.Tw.rhead in
+    Array.unsafe_set t.heads_key s (Array.unsafe_get w.Tw.rkeys h);
+    Array.unsafe_set t.heads_pk s (Array.unsafe_get w.Tw.rpks h)
+  end;
+  let n = Array.length t.wheels in
+  let mk = ref (Array.unsafe_get t.heads_key 0) in
+  let mp = ref (Array.unsafe_get t.heads_pk 0) in
+  let ms = ref 0 in
+  for i = 1 to n - 1 do
+    let k = Array.unsafe_get t.heads_key i in
+    if k < !mk || (k = !mk && Array.unsafe_get t.heads_pk i < !mp) then begin
+      mk := k;
+      mp := Array.unsafe_get t.heads_pk i;
+      ms := i
+    end
+  done;
+  t.min_shard <- !ms;
+  t.min_key <- !mk;
+  t.min_pk <- !mp;
+  v
+
+let shard_pushes t i = t.pushes.(i)
+let ring_hits t = Array.fold_left (fun a w -> a + Timing_wheel.ring_hits w) 0 t.wheels
+let wheel_hits t = Array.fold_left (fun a w -> a + Timing_wheel.wheel_hits w) 0 t.wheels
+let heap_spills t = Array.fold_left (fun a w -> a + Timing_wheel.heap_spills w) 0 t.wheels

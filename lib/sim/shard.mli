@@ -1,0 +1,51 @@
+(** Sharded event queues merged by a deterministic frontier.
+
+    One {!Timing_wheel} per simulated CPU, one *global* sequence
+    counter across all of them: the frontier pops by lexicographic
+    (time, seq), which is exactly the order a single global queue
+    would produce. The shard argument therefore never affects the
+    schedule — only locality and the per-shard counters.
+
+    Payload values ride in the low {!vbits} bits of the packed
+    tie-break; callers keep [v] below [2^vbits]. *)
+
+type t
+
+val vbits : int
+(** Number of low bits of the tie-break reserved for the payload. *)
+
+val create : shards:int -> t
+(** [create ~shards] makes an empty frontier over [shards] (>= 1)
+    wheels. *)
+
+val shards : t -> int
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> shard:int -> Pqueue.cell -> v:int -> unit
+(** [push t ~shard cell ~v] files value [v] at time [cell.cell_time]
+    on [shard]. The cell hand-off keeps the hot path free of float
+    boxing, as in {!Pqueue.push_cell}. *)
+
+val push_at : t -> shard:int -> time:float -> v:int -> unit
+(** [push] with an ordinary float time, for cold call sites. *)
+
+val min_key : t -> int
+(** Time key of the global minimum, [max_int] when empty — compared
+    directly by the engine's delay fast path. *)
+
+val pop : t -> Pqueue.cell -> int
+(** Remove the global minimum: its time is written into the cell (an
+    unboxed store) and its payload value returned. Precondition: not
+    empty. *)
+
+val popped_shard : t -> int
+(** Shard the most recent {!pop} came from. *)
+
+val shard_pushes : t -> int -> int
+(** Pushes filed on shard [i] so far. *)
+
+val ring_hits : t -> int
+val wheel_hits : t -> int
+val heap_spills : t -> int
+(** Push-path counters summed over shards (see {!Timing_wheel}). *)

@@ -4,6 +4,7 @@ let () =
       ("stats", Test_stats.suite);
       ("sim", Test_sim.suite);
       ("pqueue", Test_pqueue.suite);
+      ("timing_wheel", Test_timing_wheel.suite);
       ("int_table", Test_int_table.suite);
       ("parallel", Test_parallel.suite);
       ("vm", Test_vm.suite);

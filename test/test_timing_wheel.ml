@@ -1,0 +1,252 @@
+(* Property tests for the hierarchical timing wheel and the sharded
+   merge frontier: pop order must be exactly (time, seq) — identical to
+   a sorted-list reference — under random push/pop interleavings that
+   cross bucket boundaries, cascade L2 epochs, and spill to the
+   far-future heap; the shard frontier must produce the same global
+   order for any shard count; and engine-level cancellation must skip
+   exactly the cancelled events without disturbing the rest. *)
+
+module Tw = Mb_sim.Timing_wheel
+module Shard = Mb_sim.Shard
+module Pqueue = Mb_sim.Pqueue
+module Engine = Mb_sim.Engine
+
+(* Times that stress every layer: heavy ties, exact L1 (2^10 ns) and
+   L2 (2^18 ns) bucket edges and their neighbours, multi-epoch wraps,
+   far-heap spills, and the 2^52 precision cliff. *)
+let time_gen =
+  QCheck.Gen.(
+    oneof
+      [ map float_of_int (int_bound 50);
+        map (fun k -> float_of_int (k * 1024)) (int_bound 600);
+        map (fun k -> float_of_int ((k * 1024) + 1)) (int_bound 600);
+        map (fun k -> float_of_int ((k * 1024) - 1)) (int_range 1 600);
+        map (fun k -> float_of_int (k * 262144)) (int_bound 600);
+        map (fun k -> float_of_int ((k * 262144) + 1)) (int_bound 600);
+        map (fun k -> float_of_int k *. 1048576.) (int_bound 2000);
+        map (fun k -> float_of_int k *. 1e8) (int_bound 100);
+        map (fun k -> 4503599627370496. +. (float_of_int k *. 1e10)) (int_bound 10);
+        map (fun f -> Float.of_int (int_of_float (f *. 1e7))) (float_bound_inclusive 1.);
+      ])
+
+let time_arb = QCheck.make ~print:string_of_float time_gen
+
+(* --- timing wheel vs sorted (key, pk) list --------------------------- *)
+
+let wheel_ops_gen =
+  (* true -> push at the given time; false -> pop (time ignored) *)
+  QCheck.(list_of_size Gen.(int_range 0 500) (pair bool time_arb))
+
+let prop_wheel_fuzz_vs_model =
+  QCheck.Test.make ~name:"wheel push/pop fuzz matches sorted model" ~count:300 wheel_ops_gen
+    (fun ops ->
+      let w = Tw.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      List.for_all
+        (fun (is_push, time) ->
+          if is_push then begin
+            let key = Tw.key_of_time time and pk = !seq in
+            incr seq;
+            Tw.push w key pk;
+            let rec insert = function
+              | [] -> [ (key, pk) ]
+              | ((k, p) as hd) :: tl ->
+                  if key < k || (key = k && pk < p) then (key, pk) :: hd :: tl
+                  else hd :: insert tl
+            in
+            model := insert !model;
+            Tw.length w = List.length !model
+          end
+          else
+            match !model with
+            | [] -> Tw.is_empty w && Tw.peek_key w = max_int && Tw.peek_pk w = max_int
+            | (k, p) :: tl ->
+                let ok = Tw.peek_key w = k && Tw.peek_pk w = p in
+                Tw.pop w;
+                model := tl;
+                ok)
+        ops)
+
+let prop_wheel_drain_sorted =
+  QCheck.Test.make ~name:"wheel full drain is (time, seq) sorted" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 400) time_arb)
+    (fun times ->
+      let w = Tw.create () in
+      List.iteri (fun i time -> Tw.push w (Tw.key_of_time time) i) times;
+      let expected =
+        List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2)
+          (List.mapi (fun i time -> (time, i)) times)
+      in
+      let rec drain acc =
+        if Tw.is_empty w then List.rev acc
+        else begin
+          let k = Tw.peek_key w and p = Tw.peek_pk w in
+          Tw.pop w;
+          drain ((Tw.time_of_key k, p) :: acc)
+        end
+      in
+      drain [] = expected)
+
+(* Counters split pushes into exactly three destinations: ascending
+   appends fill the ring to its target size, then overflow into the
+   wheels; a far-future time spills to the heap. *)
+let test_wheel_counters () =
+  let w = Tw.create () in
+  let n = Tw.ring_target + 16 in
+  for i = 0 to n - 1 do
+    Tw.push w (Tw.key_of_time (float_of_int (i * 1024))) i
+  done;
+  Tw.push w (Tw.key_of_time (4503599627370496. +. 1e10)) n;
+  Alcotest.(check int) "all pushes counted" (n + 1)
+    (Tw.ring_hits w + Tw.wheel_hits w + Tw.heap_spills w);
+  Alcotest.(check int) "ring absorbed up to its target" Tw.ring_target (Tw.ring_hits w);
+  Alcotest.(check bool) "overflow went to the wheels" true (Tw.wheel_hits w >= 1);
+  Alcotest.(check bool) "far time spilled to heap" true (Tw.heap_spills w >= 1);
+  let rec drain n = if Tw.is_empty w then n else (Tw.pop w; drain (n + 1)) in
+  Alcotest.(check int) "drains fully" (n + 1) (drain 0)
+
+(* --- shard frontier vs global sorted model ---------------------------- *)
+
+(* Ops: Some (shard_pick, time) -> push on shard_pick mod shards;
+   None -> pop. The model is one global (time, seq) sorted list — the
+   shard assignment must never matter. *)
+let shard_ops_gen =
+  QCheck.(
+    pair (int_range 1 8)
+      (list_of_size Gen.(int_range 0 500) (option (pair (int_bound 31) time_arb))))
+
+let prop_shard_frontier_vs_model =
+  QCheck.Test.make ~name:"shard frontier pops the global (time, seq) order" ~count:300
+    shard_ops_gen
+    (fun (shards, ops) ->
+      let q = Shard.create ~shards in
+      let cell = Pqueue.make_cell () in
+      let model = ref [] in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some (pick, time) ->
+              let v = !seq land ((1 lsl Shard.vbits) - 1) in
+              let s = !seq in
+              incr seq;
+              Shard.push_at q ~shard:(pick mod shards) ~time ~v;
+              let rec insert = function
+                | [] -> [ (time, s, v) ]
+                | ((t, s', _) as hd) :: tl ->
+                    if time < t || (time = t && s < s') then (time, s, v) :: hd :: tl
+                    else hd :: insert tl
+              in
+              model := insert !model;
+              Shard.length q = List.length !model
+          | None -> (
+              match !model with
+              | [] -> Shard.is_empty q && Shard.min_key q = max_int
+              | (t, _, v) :: tl ->
+                  let got = Shard.pop q cell in
+                  model := tl;
+                  got = v && cell.Pqueue.cell_time = t))
+        ops)
+
+(* The same pushes distributed over 1, 2 and 8 shards pop identically. *)
+let prop_shard_count_invariance =
+  QCheck.Test.make ~name:"pop order invariant under shard count" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 300) (pair (int_bound 31) time_arb))
+    (fun pushes ->
+      let drain_with shards =
+        let q = Shard.create ~shards in
+        let cell = Pqueue.make_cell () in
+        List.iteri
+          (fun i (pick, time) ->
+            Shard.push_at q ~shard:(pick mod shards) ~time ~v:(i land 0xFFFF))
+          pushes;
+        let rec go acc =
+          if Shard.is_empty q then List.rev acc
+          else begin
+            let v = Shard.pop q cell in
+            go ((cell.Pqueue.cell_time, v) :: acc)
+          end
+        in
+        go []
+      in
+      let one = drain_with 1 in
+      drain_with 2 = one && drain_with 8 = one)
+
+(* --- engine-level: cancellation and shard routing ---------------------- *)
+
+let test_at_cancel () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let fire tag = fun () -> log := tag :: !log in
+  Engine.at e 10. (fire "a");
+  let cancel_b = Engine.at_cancel e 20. (fire "b") in
+  let cancel_c = Engine.at_cancel e 30. (fire "c") in
+  Engine.at e 40. (fire "d");
+  cancel_b ();
+  cancel_b ();  (* idempotent *)
+  Engine.run e;
+  cancel_c ();  (* after firing: harmless no-op *)
+  Alcotest.(check (list string)) "cancelled event skipped, rest fire in order"
+    [ "a"; "c"; "d" ] (List.rev !log)
+
+let prop_engine_cancel_fuzz =
+  (* Events at random times; a random subset is cancellable and
+     cancelled up front. Fired order must equal the (time, insertion)
+     order of the survivors. *)
+  QCheck.Test.make ~name:"random cancellations leave survivors' schedule intact" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 60) (pair bool (map float_of_int (int_bound 20))))
+    (fun events ->
+      let e = Engine.create ~shards:3 () in
+      let log = ref [] in
+      let cancels = ref [] in
+      List.iteri
+        (fun i (cancelled, time) ->
+          if cancelled then
+            cancels := Engine.at_cancel e ~shard:(i mod 3) time (fun () -> log := i :: !log) :: !cancels
+          else Engine.at e ~shard:(i mod 3) time (fun () -> log := i :: !log))
+        events;
+      List.iter (fun cancel -> cancel ()) !cancels;
+      Engine.run e;
+      let expected =
+        List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2)
+          (List.filteri (fun _ (c, _) -> not c) (List.mapi (fun i (c, t) -> (c, (t, i))) events)
+          |> List.map snd)
+        |> List.map snd
+      in
+      List.rev !log = expected)
+
+(* One multi-process program, three engines with different shard counts
+   and assignments: the logs must match event for event. *)
+let test_engine_shard_determinism () =
+  let run shards =
+    let e = Engine.create ~shards () in
+    let log = ref [] in
+    let say who = log := Printf.sprintf "%s@%.0f" who (Engine.now e) :: !log in
+    for i = 0 to 5 do
+      ignore
+        (Engine.spawn e ~shard:(i mod shards) ~name:(Printf.sprintf "p%d" i) (fun () ->
+             let name = Printf.sprintf "p%d" i in
+             say (name ^ ".start");
+             Engine.delay (float_of_int ((i * 7) mod 11));
+             say (name ^ ".mid");
+             Engine.delay (float_of_int ((13 - i) mod 9));
+             say (name ^ ".end")))
+    done;
+    Engine.run e;
+    List.rev !log
+  in
+  let one = run 1 in
+  Alcotest.(check (list string)) "2 shards = 1 shard" one (run 2);
+  Alcotest.(check (list string)) "8 shards = 1 shard" one (run 8)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_wheel_fuzz_vs_model;
+    QCheck_alcotest.to_alcotest prop_wheel_drain_sorted;
+    Alcotest.test_case "push counters cover all destinations" `Quick test_wheel_counters;
+    QCheck_alcotest.to_alcotest prop_shard_frontier_vs_model;
+    QCheck_alcotest.to_alcotest prop_shard_count_invariance;
+    Alcotest.test_case "at_cancel skips exactly the cancelled" `Quick test_at_cancel;
+    QCheck_alcotest.to_alcotest prop_engine_cancel_fuzz;
+    Alcotest.test_case "engine schedule invariant under shards" `Quick test_engine_shard_determinism;
+  ]
