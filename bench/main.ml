@@ -56,6 +56,21 @@ module Kernels = struct
       (B3.run
          { B3.default with B3.threads; aligned; object_size = 40; writes = 20_000; paper_writes = 20_000 })
 
+  (* Run a kernel with MALLOC_REPRO_DOMAINS set, so its machines use
+     the conservative parallel executor at the given width. The domain
+     sweep exists to price the window protocol: the schedule (and so
+     the simulated result) is byte-identical at every width, only the
+     wall-clock differs. *)
+  let with_domains d kernel () =
+    let prev = Sys.getenv_opt "MALLOC_REPRO_DOMAINS" in
+    Unix.putenv "MALLOC_REPRO_DOMAINS" (string_of_int d);
+    Fun.protect
+      ~finally:(fun () ->
+        (* no unsetenv in Unix; width 1 is the documented default *)
+        Unix.putenv "MALLOC_REPRO_DOMAINS"
+          (match prev with Some v -> v | None -> "1"))
+      kernel
+
   (* One kernel per paper artifact. *)
   let all =
     let ppro = Core.Configs.dual_pentium_pro in
@@ -77,6 +92,8 @@ module Kernels = struct
       ("fig6", bench2 ~machine:k6 ~threads:3 ~rounds:4);
       ("fig7", bench2 ~machine:k6 ~threads:7 ~rounds:2);
       ("fig8", bench2 ~machine:xeon ~threads:7 ~rounds:4);
+      ("fig8-domains2", with_domains 2 (bench2 ~machine:xeon ~threads:7 ~rounds:4));
+      ("fig8-domains4", with_domains 4 (bench2 ~machine:xeon ~threads:7 ~rounds:4));
       ("fig9", bench3 ~threads:2 ~aligned:false);
       ("fig10", bench3 ~threads:3 ~aligned:false);
       ("fig11", bench3 ~threads:4 ~aligned:false);

@@ -90,6 +90,10 @@ type t = {
   mutable sbrk_calls : int;
   mutable mmap_calls : int;
   mutable munmap_calls : int;
+  domains : int;  (* conservative-executor crew width (1 = serial run) *)
+  lookahead_ns : float;  (* conservative window floor: the cheapest
+                            cross-CPU scheduling edge, in simulated ns *)
+  mutable domain_stats : Mb_parallel.Conservative.stats option;
 }
 
 and cpu = { cpu_id : int; mutable current : thread option }
@@ -173,7 +177,7 @@ let no_register : (unit -> unit) -> unit = fun _ -> ()
 
 let thread_stack_bytes = 16 * 1024
 
-let create ?(seed = 42) ?obs ?check ?fault (config : config) =
+let create ?(seed = 42) ?obs ?check ?fault ?domains (config : config) =
   if config.cpus <= 0 then invalid_arg "Machine.create: cpus <= 0";
   if config.mhz <= 0. then invalid_arg "Machine.create: mhz <= 0";
   let cycle_ns = 1000. /. config.mhz in
@@ -191,6 +195,35 @@ let create ?(seed = 42) ?obs ?check ?fault (config : config) =
         | Some n when n >= 1 -> n
         | _ -> invalid_arg "MALLOC_REPRO_SHARDS: expected a positive integer")
     | None -> config.cpus + 1
+  in
+  (* Crew width for the conservative parallel executor. 1 (the default)
+     runs the serial engine exactly as before; higher counts drain the
+     shard wheels on that many domains, with the schedule guaranteed
+     byte-identical (see Mb_parallel.Conservative and PARALLELISM.md),
+     so MALLOC_REPRO_DOMAINS — like MALLOC_REPRO_SHARDS — is something
+     tests and CI can vary freely and diff against. *)
+  let domains =
+    match domains with
+    | Some d -> if d >= 1 then d else invalid_arg "Machine.create: domains < 1"
+    | None -> (
+        match Sys.getenv_opt "MALLOC_REPRO_DOMAINS" with
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some n when n >= 1 -> n
+            | _ -> invalid_arg "MALLOC_REPRO_DOMAINS: expected a positive integer")
+        | None -> 1)
+  in
+  (* Conservative lookahead: no event scheduled by running code lands
+     sooner after "now" than the machine's cheapest scheduling edge — a
+     stub lock's uncontended acquire is the shortest delay any path
+     performs — so a window at least that wide can always be drained
+     without the executor ever having to look ahead of what is queued.
+     Each cost is clamped to >= 1 cycle; the adaptive window in
+     [Conservative.run] widens from this floor toward a useful batch. *)
+  let lookahead_ns =
+    let edge = max 1 (min (min config.ctx_switch_cycles config.wake_cycles)
+                        (min config.atomic_cycles config.stub_lock_cycles)) in
+    float_of_int edge *. cycle_ns
   in
   let engine = Engine.create ~obs ~shards:eng_shards () in
   Engine.name_shard engine 0 "main";
@@ -222,9 +255,16 @@ let create ?(seed = 42) ?obs ?check ?fault (config : config) =
     sbrk_calls = 0;
     mmap_calls = 0;
     munmap_calls = 0;
+    domains;
+    lookahead_ns;
+    domain_stats = None;
   }
 
 let config t = t.config
+
+let domains t = t.domains
+
+let domain_stats t = t.domain_stats
 
 let engine t = t.engine
 
@@ -278,12 +318,32 @@ let flush_observations t =
           end
         end)
       t.mutexes;
-    Hashtbl.iter (fun key v -> Obs.set t.obs key v) acc
+    Hashtbl.iter (fun key v -> Obs.set t.obs key v) acc;
+    (match t.domain_stats with
+     | None -> ()
+     | Some (st : Mb_parallel.Conservative.stats) ->
+         (* Every counter except the per-domain split (and the
+            barrier count, which scales with the crew size) is
+            domain-count-invariant — see Conservative. *)
+         Obs.set t.obs "sched.domains" st.domains;
+         Obs.set t.obs "sched.domain.horizon_advances" st.windows;
+         Obs.set t.obs "sched.domain.drained" st.drained;
+         Obs.set t.obs "sched.domain.sync_stalls" st.residue;
+         Obs.set t.obs "sched.domain.barrier_waits" st.barrier_waits;
+         Array.iteri
+           (fun i n ->
+             Obs.set t.obs
+               ("sched.domain." ^ string_of_int i ^ ".drained") n)
+           st.per_domain_drained)
   end;
   Engine.flush_observations t.engine
 
 let run t =
-  Engine.run t.engine;
+  if t.domains = 1 then Engine.run t.engine
+  else
+    t.domain_stats <-
+      Some (Mb_parallel.Conservative.run t.engine ~domains:t.domains
+              ~lookahead_ns:t.lookahead_ns);
   flush_observations t
 
 let now_ns t = Engine.now t.engine

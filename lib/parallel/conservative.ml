@@ -1,0 +1,226 @@
+(* Conservative parallel execution of one simulation's shard queues.
+
+   The serial engine pops the global (time, seq) minimum and runs it,
+   one event at a time. This module keeps that execution order *exactly*
+   — which is what makes schedules byte-identical at any domain count —
+   while moving the queue mechanics onto worker domains. A run proceeds
+   in windows:
+
+     1. Horizon. The coordinator picks a horizon: the frontier time plus
+        a conservative lookahead the machine layer derives from its
+        cheapest cross-CPU scheduling edge (adaptively widened so a
+        window carries a useful batch — the widening only re-sizes
+        windows, never reorders events; see PARALLELISM.md).
+
+     2. Drain (parallel). Each domain drains its own shards' timing
+        wheels up to the horizon via Shard.drain_shard, into per-shard
+        staging buffers. No simulation code runs during this phase, so
+        each wheel is touched by exactly one domain and the phase is
+        race-free by construction. The barrier at the end of the phase
+        is the await on the crew's futures; Shard.resync then rebuilds
+        the frontier caches.
+
+     3. Execute (serial, coordinator only). The staged buffers are a
+        per-shard-sorted partition of the window, so an S-way cursor
+        merge replays the exact (key, pk) order a serial pop sequence
+        would have produced. Executing an event may push *new* events —
+        mutex wakeups, cross-CPU frees, coherence-driven re-arms — some
+        of them earlier than the rest of the plan. Those land in the
+        live shard queues, and before each planned event the executor
+        compares the live frontier against the plan head and lets the
+        earlier one run ("rollback-free sync stall": the conservative
+        answer to the mid-window arrivals an optimistic engine would
+        roll back for). The engine's delay fast path is kept honest by
+        Engine.set_plan_min: a drained-but-unexecuted event is morally
+        still queued.
+
+   Sequence numbers are only ever assigned while the coordinator
+   executes (phase 3), in execution order — never during a drain — so
+   the (time, seq) stream, and therefore the schedule, is identical for
+   any domain count, including 1. Window boundaries differ across domain
+   counts only in *when* the mechanics happen, never in what runs when
+   in simulated time. *)
+
+module Engine = Mb_sim.Engine
+module Shard = Mb_sim.Shard
+module Tw = Mb_sim.Timing_wheel
+
+type stats = {
+  domains : int;
+  windows : int;
+  drained : int;
+  residue : int;
+  barrier_waits : int;
+  per_domain_drained : int array;
+}
+
+(* Per-shard staging buffer: (key, pk) pairs in drain (= sorted) order.
+   Written by exactly one domain during a drain phase, read by the
+   coordinator during execution. *)
+type buf = {
+  mutable keys : int array;
+  mutable pks : int array;
+  mutable n : int;
+}
+
+let default_target = 48
+
+let run ?(target = default_target) engine ~domains ~lookahead_ns =
+  if domains < 1 then invalid_arg "Conservative.run: domains < 1";
+  if target < 1 then invalid_arg "Conservative.run: target < 1";
+  let q = Engine.queue engine in
+  let shards = Shard.shards q in
+  (* More domains than shards would leave crews idle; cap silently so
+     MALLOC_REPRO_DOMAINS=8 on a 2-CPU machine still works. *)
+  let d = min domains shards in
+  Engine.set_domains engine domains;
+  let bufs =
+    Array.init shards (fun _ -> { keys = Array.make 64 0; pks = Array.make 64 0; n = 0 })
+  in
+  let cursors = Array.make shards 0 in
+  (* One preallocated emit closure per shard, so a drain allocates
+     nothing per event. *)
+  let emits =
+    Array.map
+      (fun b ->
+        fun key pk ->
+         let n = b.n in
+         if n = Array.length b.keys then begin
+           let cap = 2 * n in
+           let nk = Array.make cap 0 and np = Array.make cap 0 in
+           Array.blit b.keys 0 nk 0 n;
+           Array.blit b.pks 0 np 0 n;
+           b.keys <- nk;
+           b.pks <- np
+         end;
+         b.keys.(n) <- key;
+         b.pks.(n) <- pk;
+         b.n <- n + 1)
+      bufs
+  in
+  (* Domain g owns shards g, g+d, g+2d, ... *)
+  let drain_group g horizon_key =
+    let total = ref 0 in
+    let i = ref g in
+    while !i < shards do
+      total := !total + Shard.drain_shard q ~shard:!i ~horizon_key ~emit:emits.(!i);
+      i := !i + d
+    done;
+    !total
+  in
+  let windows = ref 0 in
+  let drained = ref 0 in
+  let residue = ref 0 in
+  let per_domain = Array.make d 0 in
+  let lookahead_ns = if lookahead_ns > 0. then lookahead_ns else 1. in
+  let window_ns = ref (max lookahead_ns 1.) in
+  (* Current plan head: argmin over the staging cursors. Rescans cost
+     O(shards) per planned event — the same scan a serial Shard.pop
+     pays to re-establish its frontier. *)
+  let pm_shard = ref (-1) in
+  let rescan_plan () =
+    let mk = ref max_int and mp = ref max_int and ms = ref (-1) in
+    for i = 0 to shards - 1 do
+      let b = Array.unsafe_get bufs i in
+      let c = Array.unsafe_get cursors i in
+      if c < b.n then begin
+        let k = Array.unsafe_get b.keys c in
+        if k < !mk || (k = !mk && Array.unsafe_get b.pks c < !mp) then begin
+          mk := k;
+          mp := Array.unsafe_get b.pks c;
+          ms := i
+        end
+      end
+    done;
+    pm_shard := !ms;
+    Engine.set_plan_min engine ~key:!mk ~pk:!mp;
+    (!mk, !mp)
+  in
+  let rec execute_merged (pmk, pmp) =
+    if !pm_shard >= 0 then
+      (* A mid-window arrival that sorts before the plan head runs
+         first — straight off the live queue, with the plan head still
+         registered as the delay fast path's bound. *)
+      if
+        Shard.min_key q < pmk
+        || (Shard.min_key q = pmk && Shard.min_pk q < pmp)
+      then begin
+        incr residue;
+        Engine.step_queue engine;
+        execute_merged (pmk, pmp)
+      end
+      else begin
+        let sh = !pm_shard in
+        cursors.(sh) <- cursors.(sh) + 1;
+        (* Advance the registered plan head *before* running the event:
+           delays performed inside it must compare against what remains. *)
+        let next = rescan_plan () in
+        Engine.execute_planned engine ~key:pmk ~pk:pmp ~shard:sh;
+        execute_merged next
+      end
+  in
+  let run_windows crew =
+    let rec window () =
+      if Shard.is_empty q then Engine.check_stall engine
+      else begin
+        incr windows;
+        let fk = Shard.min_key q in
+        let horizon_key =
+          let hk = Tw.key_of_time (Tw.time_of_key fk +. !window_ns) in
+          if hk <= fk then fk + 1 else hk
+        in
+        for i = 0 to shards - 1 do
+          bufs.(i).n <- 0;
+          cursors.(i) <- 0
+        done;
+        let drained_now =
+          match crew with
+          | None ->
+              let n = drain_group 0 horizon_key in
+              per_domain.(0) <- per_domain.(0) + n;
+              n
+          | Some pool ->
+              let futs =
+                Array.init (d - 1) (fun k ->
+                    Pool.submit pool ~key:"conservative-drain" (fun () ->
+                        drain_group (k + 1) horizon_key))
+              in
+              let own = drain_group 0 horizon_key in
+              per_domain.(0) <- per_domain.(0) + own;
+              let total = ref own in
+              Array.iteri
+                (fun k fut ->
+                  let n = Pool.await pool fut in
+                  per_domain.(k + 1) <- per_domain.(k + 1) + n;
+                  total := !total + n)
+                futs;
+              !total
+        in
+        Shard.resync q;
+        drained := !drained + drained_now;
+        (* Window auto-sizing: aim for [target] events per window. The
+           drained set is a pure function of the horizon sequence and
+           the event stream — both domain-count-independent — so the
+           adaptation, and with it every counter except the per-domain
+           split, is identical at any domain count. *)
+        if drained_now < (target + 1) / 2 then
+          window_ns := Float.min (!window_ns *. 2.) 1e12
+        else if drained_now > target * 4 then
+          window_ns := Float.max (!window_ns /. 2.) lookahead_ns;
+        execute_merged (rescan_plan ());
+        window ()
+      end
+    in
+    Fun.protect
+      ~finally:(fun () -> Engine.set_plan_min engine ~key:max_int ~pk:max_int)
+      window
+  in
+  if d > 1 then Pool.with_pool ~jobs:d (fun pool -> run_windows (Some pool))
+  else run_windows None;
+  { domains = d;
+    windows = !windows;
+    drained = !drained;
+    residue = !residue;
+    barrier_waits = !windows * (d - 1);
+    per_domain_drained = per_domain;
+  }

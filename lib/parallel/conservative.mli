@@ -1,0 +1,55 @@
+(** Conservative parallel execution of a simulation's shard queues.
+
+    Runs an engine to completion with the same observable schedule as
+    {!Mb_sim.Engine.run} — byte-identical traces, counters and results
+    at any domain count — while draining the per-CPU timing wheels on
+    parallel domains. The run proceeds in windows: the coordinator
+    picks a horizon (frontier time + a conservative lookahead derived
+    by the machine layer from its cheapest cross-CPU scheduling edge),
+    a crew of domains drains each shard's wheel up to that horizon in
+    parallel ({!Mb_sim.Shard.drain_shard} — no simulation code runs, so
+    wheel access is domain-exclusive), and the coordinator then
+    executes the merged plan serially in exact global (time, seq)
+    order, interleaving any newly pushed event that sorts before the
+    remaining plan ("rollback-free sync stalls", counted as
+    {!stats.residue}). Sequence numbers are only assigned during the
+    serial execute phase, which is what makes the schedule independent
+    of the domain count by construction. See PARALLELISM.md for the
+    full protocol and invariant argument. *)
+
+type stats = {
+  domains : int;
+      (** Effective crew width: the requested domain count capped at
+          the engine's shard count. *)
+  windows : int;
+      (** Horizon advances — one per drain/execute round. *)
+  drained : int;
+      (** Events staged by drains (excludes residue events, which ran
+          straight off the live queues). *)
+  residue : int;
+      (** Mid-window arrivals executed from the live queues because
+          they sorted before the remaining plan — the conservative
+          protocol's rollback-free sync stalls. *)
+  barrier_waits : int;
+      (** Worker-side barrier crossings: [windows * (domains - 1)]. *)
+  per_domain_drained : int array;
+      (** Events drained by each crew member ([length = domains]);
+          the only field whose value depends on the domain count. *)
+}
+(** Counters for the [sched.domain.*] observations; every field except
+    [per_domain_drained] (and [barrier_waits], which scales with it) is
+    identical at any domain count. *)
+
+val default_target : int
+(** Default events-per-window target for the adaptive horizon (48). *)
+
+val run : ?target:int -> Mb_sim.Engine.t -> domains:int -> lookahead_ns:float -> stats
+(** [run engine ~domains ~lookahead_ns] drains [engine]'s event queue
+    to completion across [domains] domains ([domains] is capped at the
+    shard count; 1 means no crew is spawned and the window protocol
+    runs entirely on the calling domain). [lookahead_ns] is the
+    minimum window width in simulated nanoseconds; windows widen and
+    shrink adaptively toward [target] events per window, which only
+    re-sizes the mechanical batches — never the schedule. Returns the
+    window statistics. @raise Mb_sim.Engine.Stalled on deadlock, as
+    {!Mb_sim.Engine.run} would. *)

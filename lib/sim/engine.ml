@@ -33,6 +33,17 @@ type t = {
   mutable cur_shard : int;
   shard_names : string array;
   mutable cross_wakeups : int;  (* explicit pushes onto a foreign shard *)
+  (* Head of the *drained plan* while a conservative window executes
+     (see Mb_parallel.Conservative): events the executor has pulled out
+     of the shard queues but not yet run. The delay fast path must
+     treat them as still queued — [max_int] outside a window, so the
+     serial engine pays one predictable compare. *)
+  mutable plan_min_key : int;
+  mutable plan_min_pk : int;
+  (* Domain count a conservative run will use; > 1 makes park/unpark
+     trace instants carry the owning domain alongside the shard. *)
+  mutable domains : int;
+  mutable domain_names : string array;  (* per *shard*: name of its domain *)
   (* Event payload arena + free-list stack (same discipline the old
      Pqueue arena used: popped slots are not cleared — the write costs
      more than the bounded retention it avoids — and are reused by the
@@ -125,6 +136,10 @@ let create ?(obs = Obs.null) ?(shards = 1) () =
     cur_shard = 0;
     shard_names = Array.init shards string_of_int;
     cross_wakeups = 0;
+    plan_min_key = max_int;
+    plan_min_pk = max_int;
+    domains = 1;
+    domain_names = [||];
     slots = [||];
     free = [||];
     free_top = 0;
@@ -146,6 +161,26 @@ let now t = t.clock.Pqueue.cell_time
 let shards t = Shard.shards t.queue
 
 let name_shard t i name = t.shard_names.(i) <- name
+
+(* Record the domain count of the conservative run that will drive this
+   engine: shard [i] belongs to domain [i mod domains], and park/unpark
+   trace instants gain a "domain" argument so trace lanes carry domain
+   ids. Purely observational — the schedule never depends on it. *)
+let set_domains t domains =
+  if domains < 1 then invalid_arg "Engine.set_domains: domains < 1";
+  t.domains <- domains;
+  t.domain_names <-
+    (if domains > 1 then
+       Array.init (Array.length t.shard_names) (fun i -> string_of_int (i mod domains))
+     else [||])
+
+let domains t = t.domains
+
+let shard_args t =
+  if t.domains > 1 then
+    [ ("shard", t.shard_names.(t.cur_shard));
+      ("domain", t.domain_names.(t.cur_shard)) ]
+  else [ ("shard", t.shard_names.(t.cur_shard)) ]
 
 let name_of t pid =
   let n = t.names.(pid) in
@@ -223,7 +258,8 @@ let delay_cell t = t.scratch
 let delay_pending t =
   let clock = t.clock.Pqueue.cell_time in
   let nt = clock +. t.scratch.Pqueue.cell_time in
-  if Int64.to_int (Int64.bits_of_float nt) lxor min_int < Shard.min_key t.queue then begin
+  let key = Int64.to_int (Int64.bits_of_float nt) lxor min_int in
+  if key < Shard.min_key t.queue && key < t.plan_min_key then begin
     if nt < clock then invalid_arg "Engine.delay: negative delay";
     t.clock.Pqueue.cell_time <- nt
   end
@@ -307,8 +343,7 @@ let start t pid body =
         set_parked t pid;
         if Obs.tracing t.obs then
           Obs.instant t.obs ~lane:pid ~name:"park" ~ts_ns:t.clock.Pqueue.cell_time
-            ~args:[ ("shard", t.shard_names.(t.cur_shard)) ]
-            ();
+            ~args:(shard_args t) ();
         let resumed = ref false in
         let resume () =
           if !resumed then
@@ -321,8 +356,7 @@ let start t pid body =
              order. *)
           if Obs.tracing t.obs then
             Obs.instant t.obs ~lane:pid ~name:"unpark" ~ts_ns:t.clock.Pqueue.cell_time
-              ~args:[ ("shard", t.shard_names.(t.cur_shard)) ]
-              ();
+              ~args:(shard_args t) ();
           let slot = alloc_slot t (Obj.repr k) in
           Shard.push t.queue ~shard:t.cur_shard t.clock ~v:(slot lsl 1)
         in
@@ -448,29 +482,58 @@ let stall_report t =
     !waiters;
   { waiters = !waiters; cycle = !cycle }
 
+(* Run one decoded event: the value carries (arena slot, tag); the slot
+   returns to the free stack before the payload runs, so the event's
+   own pushes can reuse it. *)
+let[@inline] exec_event t v =
+  let slot = v lsr 1 in
+  let payload = Array.unsafe_get t.slots slot in
+  Array.unsafe_set t.free t.free_top slot;
+  t.free_top <- t.free_top + 1;
+  if v land 1 = 0 then
+    Effect.Deep.continue (Obj.obj payload : (unit, unit) Effect.Deep.continuation) ()
+  else (Obj.obj payload : unit -> unit) ()
+
+(* Pop and run the frontier event. Pop writes the event time straight
+   into the clock cell. *)
+let step_queue t =
+  let v = Shard.pop t.queue t.clock in
+  t.cur_shard <- Shard.popped_shard t.queue;
+  exec_event t v
+
 let run t =
   let rec loop () =
     if Shard.is_empty t.queue then begin
       if t.parked_count > 0 then raise (Stalled (stall_report t))
     end
     else begin
-      (* Pop writes the event time straight into the clock cell. The
-         popped value decodes as (arena slot, tag); the slot returns
-         to the free stack before the payload runs, so the event's own
-         pushes can reuse it. *)
-      let v = Shard.pop t.queue t.clock in
-      t.cur_shard <- Shard.popped_shard t.queue;
-      let slot = v lsr 1 in
-      let payload = Array.unsafe_get t.slots slot in
-      Array.unsafe_set t.free t.free_top slot;
-      t.free_top <- t.free_top + 1;
-      if v land 1 = 0 then
-        Effect.Deep.continue (Obj.obj payload : (unit, unit) Effect.Deep.continuation) ()
-      else (Obj.obj payload : unit -> unit) ();
+      step_queue t;
       loop ()
     end
   in
   loop ()
+
+(* --- conservative-window entry points (Mb_parallel.Conservative) ----- *)
+
+let queue t = t.queue
+
+let check_stall t = if t.parked_count > 0 then raise (Stalled (stall_report t))
+
+let set_plan_min t ~key ~pk =
+  t.plan_min_key <- key;
+  t.plan_min_pk <- pk
+
+let plan_min_key t = t.plan_min_key
+
+(* Run an event the conservative executor drained out of the shard
+   queues: restore the clock from its key, restore the shard it was
+   filed on (pushes without an explicit shard inherit it, exactly as a
+   popped event's would), and decode the payload value from the low
+   bits of the packed tie-break. *)
+let execute_planned t ~key ~pk ~shard =
+  t.clock.Pqueue.cell_time <- Timing_wheel.time_of_key key;
+  t.cur_shard <- shard;
+  exec_event t (pk land ((1 lsl Shard.vbits) - 1))
 
 let live t = t.live
 

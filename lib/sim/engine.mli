@@ -71,6 +71,18 @@ val name_shard : t -> int -> string -> unit
     arguments (the machine layer names them ["main"], ["cpu0"], ...).
     Defaults to the decimal index. *)
 
+val set_domains : t -> int -> unit
+(** [set_domains t d] records that a conservative run will execute this
+    engine's shards across [d] domains (shard [i] belongs to domain
+    [i mod d]). Purely observational: when [d > 1], park/unpark trace
+    instants carry a ["domain"] argument next to ["shard"], so trace
+    lanes show which domain owned the event. The schedule itself never
+    depends on [d] — see [Mb_parallel.Conservative] and
+    PARALLELISM.md. *)
+
+val domains : t -> int
+(** Domain count recorded by {!set_domains} (default 1). *)
+
 val spawn : t -> ?name:string -> ?shard:int -> (unit -> unit) -> pid
 (** [spawn t f] registers [f] as a process starting at the current time.
     May be called before {!run} or from within a running process. If [f]
@@ -157,6 +169,46 @@ val yield : unit -> unit
 (** Re-enter the event queue at the current time: lets other processes
     scheduled for "now" run first. Equivalent to [delay 0.] but conveys
     intent. *)
+
+(** {1 Conservative-window entry points}
+
+    Building blocks for [Mb_parallel.Conservative], which executes the
+    shard queues across domains in horizon-bounded windows: worker
+    domains {!Shard.drain_shard} their shards in parallel, then the
+    coordinating domain executes the merged plan here, one event at a
+    time, interleaving any newly pushed event that sorts before the
+    remaining plan. Everything below runs on the coordinating domain
+    only. *)
+
+val queue : t -> Shard.t
+(** The engine's sharded event queue. Exposed for the conservative
+    executor; everyone else schedules through {!at}/{!spawn}/{!delay}. *)
+
+val step_queue : t -> unit
+(** Pop the frontier event off the shard queues and run it — one
+    iteration of {!run}'s loop. Precondition: the queue is not empty. *)
+
+val execute_planned : t -> key:int -> pk:int -> shard:int -> unit
+(** [execute_planned t ~key ~pk ~shard] runs one event that
+    {!Shard.drain_shard} handed out: restores the clock from [key], the
+    current shard to [shard] (the shard the event was filed on), and
+    runs the payload decoded from [pk]. Events must be fed back in
+    exact global (key, pk) order, interleaved with {!step_queue} for
+    any queued event that sorts earlier. *)
+
+val set_plan_min : t -> key:int -> pk:int -> unit
+(** Tell the delay fast path the (key, pk) of the earliest
+    still-unexecuted planned event, so a delay never skips past it —
+    drained events are morally still queued. Reset to
+    [(max_int, max_int)] when no plan is outstanding. *)
+
+val plan_min_key : t -> int
+(** Current plan head key ([max_int] when no plan is outstanding). *)
+
+val check_stall : t -> unit
+(** Raise {!Stalled} if any process is parked — the conservative
+    executor's equivalent of {!run}'s drained-queue check. Call when
+    the queue and the plan are both exhausted. *)
 
 val flush_observations : t -> unit
 (** Snapshot scheduler counters ([sched.shards], [sched.shard.pushes],

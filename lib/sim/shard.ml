@@ -149,6 +149,80 @@ let pop t (cell : Pqueue.cell) =
   t.min_pk <- !mp;
   v
 
+let min_pk t = t.min_pk
+
+(* --- conservative-window primitives (see Mb_parallel.Conservative) ----
+
+   [drain_shard] and [resync] split a pop into a parallel phase and a
+   serial phase: drain retires one shard's events below a horizon key
+   while touching *only* that shard's wheel — the shared frontier caches
+   ([heads_*], [min_*], [size]) go stale — and resync rebuilds those
+   caches from the wheels afterwards. One domain per shard may drain
+   concurrently (disjoint wheels, disjoint state); resync must run
+   alone, after every drain of the phase has completed, and before any
+   push or pop. *)
+
+(* Pop events with [key < horizon_key] off shard [shard] in (key, pk)
+   order, feeding each to [emit]. Replicates [pop]'s ring mechanics —
+   the head of a non-empty wheel always sits in the ring — but leaves
+   the frontier caches untouched, so it is safe to run for different
+   shards on different domains at once. Returns the number drained. *)
+let drain_shard t ~shard ~horizon_key ~emit =
+  let w = Array.unsafe_get t.wheels shard in
+  let n = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && w.Tw.size > 0 do
+    let h = w.Tw.rhead in
+    let k = Array.unsafe_get w.Tw.rkeys h in
+    if k >= horizon_key then continue_ := false
+    else begin
+      emit k (Array.unsafe_get w.Tw.rpks h);
+      incr n;
+      let rsize = w.Tw.rsize - 1 in
+      w.Tw.rhead <- (h + 1) land (Array.length w.Tw.rkeys - 1);
+      w.Tw.rsize <- rsize;
+      w.Tw.size <- w.Tw.size - 1;
+      if rsize = 0 && w.Tw.size > 0 then Tw.advance w
+    end
+  done;
+  !n
+
+(* Rebuild the head caches, the cached global minimum and the total
+   size from the wheels, after a round of [drain_shard]s. *)
+let resync t =
+  let n = Array.length t.wheels in
+  let size = ref 0 in
+  for s = 0 to n - 1 do
+    let w = Array.unsafe_get t.wheels s in
+    size := !size + w.Tw.size;
+    if w.Tw.rsize = 0 then begin
+      (* drain maintains the ring invariant, so an empty ring here means
+         an empty wheel *)
+      Array.unsafe_set t.heads_key s max_int;
+      Array.unsafe_set t.heads_pk s max_int
+    end
+    else begin
+      let h = w.Tw.rhead in
+      Array.unsafe_set t.heads_key s (Array.unsafe_get w.Tw.rkeys h);
+      Array.unsafe_set t.heads_pk s (Array.unsafe_get w.Tw.rpks h)
+    end
+  done;
+  t.size <- !size;
+  let mk = ref (Array.unsafe_get t.heads_key 0) in
+  let mp = ref (Array.unsafe_get t.heads_pk 0) in
+  let ms = ref 0 in
+  for i = 1 to n - 1 do
+    let k = Array.unsafe_get t.heads_key i in
+    if k < !mk || (k = !mk && Array.unsafe_get t.heads_pk i < !mp) then begin
+      mk := k;
+      mp := Array.unsafe_get t.heads_pk i;
+      ms := i
+    end
+  done;
+  t.min_shard <- !ms;
+  t.min_key <- !mk;
+  t.min_pk <- !mp
+
 let shard_pushes t i = t.pushes.(i)
 let ring_hits t = Array.fold_left (fun a w -> a + Timing_wheel.ring_hits w) 0 t.wheels
 let wheel_hits t = Array.fold_left (fun a w -> a + Timing_wheel.wheel_hits w) 0 t.wheels

@@ -39,8 +39,28 @@ val pop : t -> Pqueue.cell -> int
     unboxed store) and its payload value returned. Precondition: not
     empty. *)
 
+val min_pk : t -> int
+(** Packed tie-break of the global minimum, [max_int] when empty —
+    paired with {!min_key} for lexicographic comparison against a
+    drained plan head (see {!drain_shard}). *)
+
 val popped_shard : t -> int
 (** Shard the most recent {!pop} came from. *)
+
+val drain_shard : t -> shard:int -> horizon_key:int -> emit:(int -> int -> unit) -> int
+(** [drain_shard t ~shard ~horizon_key ~emit] retires every event of
+    [shard] with [key < horizon_key], in (key, pk) order, calling
+    [emit key pk] for each, and returns how many it drained. It touches
+    only that shard's wheel: the frontier caches go stale, so after a
+    round of drains — which may run for {e different} shards on
+    different domains concurrently — the caller must {!resync} before
+    the next {!push} or {!pop}. This is the parallel half of the
+    conservative window protocol (see [Mb_parallel.Conservative]). *)
+
+val resync : t -> unit
+(** Rebuild the per-shard head caches, the cached global minimum and
+    the total length from the wheels. Serial: call once per drain
+    round, after all {!drain_shard}s of the round have completed. *)
 
 val shard_pushes : t -> int -> int
 (** Pushes filed on shard [i] so far. *)

@@ -1,0 +1,226 @@
+(* The conservative parallel executor's one promise: the schedule is
+   byte-identical to the serial engine at any domain count. Checked at
+   engine level (randomized programs fuzzed across domain counts,
+   barrier starvation, cross-domain wakeups, deadlock reporting) and at
+   machine level (full workloads timed under 1/2/4 domains, via both
+   the [?domains] parameter and the MALLOC_REPRO_DOMAINS variable). *)
+
+module Engine = Mb_sim.Engine
+module Conservative = Mb_parallel.Conservative
+module M = Core.Machine
+
+(* --- engine level ------------------------------------------------------ *)
+
+(* Run a little process program — process [i] on shard [i mod shards]
+   performs its list of delays, logging a stamp after each — and return
+   the full log. [mode] selects the serial loop or the conservative
+   executor at a given width. *)
+let run_prog ?(shards = 4) ~mode progs =
+  let e = Engine.create ~shards () in
+  let log = Buffer.create 256 in
+  List.iteri
+    (fun i delays ->
+      ignore
+        (Engine.spawn e ~shard:(i mod shards) ~name:(Printf.sprintf "p%d" i)
+           (fun () ->
+             List.iteri
+               (fun j d ->
+                 Engine.delay (float_of_int d);
+                 Buffer.add_string log
+                   (Printf.sprintf "p%d.%d@%.17g;" i j (Engine.now e)))
+               delays)))
+    progs;
+  (match mode with
+  | `Serial -> Engine.run e
+  | `Domains d ->
+      (* A tiny lookahead and window target force many windows, so the
+         merge, the adaptation and the barrier all actually cycle. *)
+      ignore (Conservative.run e ~domains:d ~lookahead_ns:2. ~target:4));
+  Buffer.contents log
+
+let progs_gen =
+  QCheck.(
+    list_of_size Gen.(int_range 1 12)
+      (list_of_size Gen.(int_range 0 20) (int_bound 50)))
+
+let prop_domain_count_invariance =
+  QCheck.Test.make ~name:"schedule invariant under domain count" ~count:150
+    progs_gen
+    (fun progs ->
+      let serial = run_prog ~mode:`Serial progs in
+      run_prog ~mode:(`Domains 1) progs = serial
+      && run_prog ~mode:(`Domains 2) progs = serial
+      && run_prog ~mode:(`Domains 4) progs = serial)
+
+(* All events on shard 0 of 4, four domains: three crew members drain
+   nothing every window and just cross the barrier. The run must still
+   terminate with the serial schedule, and the per-domain split must
+   show the starvation. *)
+let test_barrier_starvation () =
+  let progs = List.init 6 (fun i -> List.init 10 (fun j -> (i * 7 + j * 3) mod 41)) in
+  let run mode =
+    let e = Engine.create ~shards:4 () in
+    let log = Buffer.create 256 in
+    List.iteri
+      (fun i delays ->
+        ignore
+          (Engine.spawn e ~shard:0 ~name:(Printf.sprintf "p%d" i) (fun () ->
+               List.iter
+                 (fun d ->
+                   Engine.delay (float_of_int d);
+                   Buffer.add_string log
+                     (Printf.sprintf "p%d@%.17g;" i (Engine.now e)))
+                 delays)))
+      progs;
+    let stats =
+      match mode with
+      | `Serial -> Engine.run e; None
+      | `Domains d -> Some (Conservative.run e ~domains:d ~lookahead_ns:2. ~target:4)
+    in
+    (Buffer.contents log, stats)
+  in
+  let serial, _ = run `Serial in
+  let parallel, stats = run (`Domains 4) in
+  Alcotest.(check string) "starved crew still serial schedule" serial parallel;
+  let st = Option.get stats in
+  Alcotest.(check int) "full crew" 4 st.Conservative.domains;
+  Array.iteri
+    (fun i n ->
+      if i > 0 then
+        Alcotest.(check int) (Printf.sprintf "domain %d drained nothing" i) 0 n)
+    st.Conservative.per_domain_drained;
+  Alcotest.(check int) "all drains on domain 0" st.Conservative.drained
+    st.Conservative.per_domain_drained.(0);
+  Alcotest.(check int) "barrier crossed every window" (st.Conservative.windows * 3)
+    st.Conservative.barrier_waits
+
+(* Parked processes resumed from shards owned by *other* domains: the
+   wakeup event lands mid-window on a foreign shard, which is exactly
+   the interleave (residue) path. Ordering must match the serial run. *)
+let test_cross_domain_wakeup_order () =
+  let run mode =
+    let e = Engine.create ~shards:4 () in
+    let log = ref [] in
+    let resumers = Array.make 4 (fun () -> ()) in
+    for i = 0 to 3 do
+      ignore
+        (Engine.spawn e ~shard:i ~name:(Printf.sprintf "sleeper%d" i) (fun () ->
+             Engine.delay (float_of_int i);
+             Engine.park (fun resume -> resumers.(i) <- resume);
+             log := Printf.sprintf "woke%d@%.0f" i (Engine.now e) :: !log))
+    done;
+    ignore
+      (Engine.spawn e ~shard:3 ~name:"waker" (fun () ->
+           (* wake in an order that crosses the shard->domain split both
+              ways, with ties at equal times *)
+           List.iter
+             (fun (d, i) ->
+               Engine.delay d;
+               log := Printf.sprintf "wake%d@%.0f" i (Engine.now e) :: !log;
+               resumers.(i) ())
+             [ (10., 2); (0., 0); (7., 3); (0., 1) ]));
+    (match mode with
+    | `Serial -> Engine.run e
+    | `Domains d -> ignore (Conservative.run e ~domains:d ~lookahead_ns:2. ~target:4));
+    List.rev !log
+  in
+  let serial = run `Serial in
+  Alcotest.(check (list string)) "2 domains = serial" serial (run (`Domains 2));
+  Alcotest.(check (list string)) "4 domains = serial" serial (run (`Domains 4))
+
+(* Deadlock diagnosis must survive the window protocol: the drained
+   queue + parked process stall raises the same structured report. *)
+let test_stall_report_matches_serial () =
+  let stall mode =
+    let e = Engine.create ~shards:4 () in
+    ignore
+      (Engine.spawn e ~shard:1 ~name:"stuck" (fun () ->
+           Engine.delay 5.;
+           Engine.park (fun _ -> ())));
+    match mode with
+    | `Serial -> ( try Engine.run e; None with Engine.Stalled s -> Some s)
+    | `Domains d -> (
+        try
+          ignore (Conservative.run e ~domains:d ~lookahead_ns:2.);
+          None
+        with Engine.Stalled s -> Some s)
+  in
+  let serial = Option.get (stall `Serial) in
+  let parallel = Option.get (stall (`Domains 4)) in
+  Alcotest.(check string) "same stall message"
+    (Engine.stall_message serial)
+    (Engine.stall_message parallel)
+
+(* --- machine level ----------------------------------------------------- *)
+
+let config = { M.default_config with M.cpus = 2; op_jitter = 0. }
+
+(* A contended workload, observed through every per-thread number the
+   machine exposes. Identical floats — not approximately, exactly — at
+   every domain width. *)
+let machine_fingerprint ?domains () =
+  let m = M.create ~seed:11 ?domains config in
+  let p = M.create_proc m ~name:"t" () in
+  let mu = M.Mutex.create m () in
+  let threads =
+    List.init 4 (fun i ->
+        M.spawn p ~name:(Printf.sprintf "w%d" i) (fun ctx ->
+            for _ = 1 to 50 do
+              M.Mutex.lock mu ctx;
+              M.work ctx 60;
+              M.Mutex.unlock mu ctx;
+              M.work ctx 40
+            done))
+  in
+  M.run m;
+  let b = Buffer.create 128 in
+  List.iter
+    (fun th ->
+      Buffer.add_string b
+        (Printf.sprintf "%.17g/%d;" (M.elapsed_ns th) (M.thread_stats th).M.ctx_switches))
+    threads;
+  Buffer.add_string b
+    (Printf.sprintf "ctx=%d acq=%d cont=%d now=%.17g" (M.total_ctx_switches m)
+       (M.Mutex.acquisitions mu) (M.Mutex.contentions mu) (M.now_ns m));
+  (Buffer.contents b, M.domain_stats m)
+
+let test_machine_identical_across_domains () =
+  let serial, no_stats = machine_fingerprint () in
+  Alcotest.(check bool) "serial run has no domain stats" true (no_stats = None);
+  let two, st2 = machine_fingerprint ~domains:2 () in
+  let four, st4 = machine_fingerprint ~domains:4 () in
+  Alcotest.(check string) "2 domains = serial" serial two;
+  Alcotest.(check string) "4 domains = serial" serial four;
+  let st2 = Option.get st2 and st4 = Option.get st4 in
+  Alcotest.(check int) "width 2 honored" 2 st2.Conservative.domains;
+  (* 2 CPUs -> 3 event shards: a wider request is capped at the shard
+     count rather than spinning idle domains. *)
+  Alcotest.(check int) "width 4 capped at shards" 3 st4.Conservative.domains;
+  Alcotest.(check bool) "windows advanced" true (st2.Conservative.windows > 0);
+  Alcotest.(check int) "drain split sums"
+    st2.Conservative.drained
+    (Array.fold_left ( + ) 0 st2.Conservative.per_domain_drained)
+
+let test_env_var_selects_domains () =
+  let fingerprint_env v =
+    Unix.putenv "MALLOC_REPRO_DOMAINS" v;
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "MALLOC_REPRO_DOMAINS" "1")
+      (fun () -> machine_fingerprint ())
+  in
+  let serial, _ = machine_fingerprint ~domains:1 () in
+  let via_env, stats = fingerprint_env "2" in
+  Alcotest.(check string) "MALLOC_REPRO_DOMAINS=2 = serial" serial via_env;
+  Alcotest.(check int) "env width honored" 2 (Option.get stats).Conservative.domains;
+  Alcotest.check_raises "garbage rejected"
+    (Invalid_argument "MALLOC_REPRO_DOMAINS: expected a positive integer")
+    (fun () -> ignore (fingerprint_env "zero"))
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_domain_count_invariance;
+    Alcotest.test_case "barrier starvation" `Quick test_barrier_starvation;
+    Alcotest.test_case "cross-domain wakeup order" `Quick test_cross_domain_wakeup_order;
+    Alcotest.test_case "stall report matches serial" `Quick test_stall_report_matches_serial;
+    Alcotest.test_case "machine identical across domains" `Quick test_machine_identical_across_domains;
+    Alcotest.test_case "MALLOC_REPRO_DOMAINS selects width" `Quick test_env_var_selects_domains;
+  ]
