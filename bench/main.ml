@@ -208,11 +208,41 @@ let kernel_key name =
   | Some i -> String.sub name (i + 1) (String.length name - i - 1)
   | None -> name
 
+(* The host block makes the baseline's provenance explicit: ns/run
+   numbers are only comparable on the machine that wrote them, and
+   compare.ml warns when the fresh run's host differs. *)
+let host_cpu_model () =
+  match
+    In_channel.with_open_text "/proc/cpuinfo" (fun ic ->
+        let rec scan () =
+          match In_channel.input_line ic with
+          | None -> None
+          | Some line -> (
+              match String.index_opt line ':' with
+              | Some i
+                when String.length line >= 10 && String.sub line 0 10 = "model name" ->
+                  Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+              | _ -> scan ())
+        in
+        scan ())
+  with
+  | Some model -> model
+  | None | (exception Sys_error _) -> "unknown"
+
+let host_domains () =
+  match Sys.getenv_opt "MALLOC_REPRO_DOMAINS" with
+  | Some v -> ( match int_of_string_opt v with Some d when d > 0 -> d | _ -> 1)
+  | None -> 1
+
 let write_json path ~jobs ~experiments_wall_s ~bechamel_wall_s ~total_wall_s ~counters ~gc
     kernels =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": 2,\n";
+  Printf.fprintf oc "  \"schema\": 3,\n";
+  Printf.fprintf oc "  \"host\": {\"cores\": %d, \"cpu_model\": \"%s\", \"domains\": %d},\n"
+    (Domain.recommended_domain_count ())
+    (json_escape (host_cpu_model ()))
+    (host_domains ());
   Printf.fprintf oc "  \"mode\": %S,\n" (if quick then "quick" else "full");
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"experiments_wall_s\": %.3f,\n" experiments_wall_s;

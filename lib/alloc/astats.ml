@@ -11,6 +11,8 @@ type t = {
   mutable foreign_frees : int;
   mutable mmapped_chunks : int;
   mutable grow_failures : int;
+  mutable deferred_frees : int;
+  mutable consolidations : int;
 }
 
 let create () =
@@ -26,6 +28,8 @@ let create () =
     foreign_frees = 0;
     mmapped_chunks = 0;
     grow_failures = 0;
+    deferred_frees = 0;
+    consolidations = 0;
   }
 
 let record_malloc t size =
@@ -54,7 +58,9 @@ let publish t obs =
     Obs.add obs "alloc.contended_ops" t.contended_ops;
     Obs.add obs "alloc.free.foreign" t.foreign_frees;
     Obs.add obs "alloc.mmapped_chunks" t.mmapped_chunks;
-    Obs.add obs "alloc.grow_failures" t.grow_failures
+    Obs.add obs "alloc.grow_failures" t.grow_failures;
+    if t.deferred_frees > 0 then Obs.add obs "alloc.free.deferred" t.deferred_frees;
+    if t.consolidations > 0 then Obs.add obs "alloc.consolidations" t.consolidations
   end
 
 let pp fmt t =

@@ -17,6 +17,8 @@ type t = {
   mutable foreign_frees : int;     (** frees of chunks owned by another arena/thread *)
   mutable mmapped_chunks : int;    (** requests served by direct mmap *)
   mutable grow_failures : int;     (** sbrk/sub-heap exhaustion events *)
+  mutable deferred_frees : int;    (** frees binned with coalescing deferred *)
+  mutable consolidations : int;    (** bulk deferred-coalescing passes *)
 }
 
 val create : unit -> t

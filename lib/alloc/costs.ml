@@ -4,12 +4,29 @@ type t = {
   bin_probe : int;
   split : int;
   coalesce : int;
+  deferred_free : int;
   scale : float;
 }
 
-let glibc = { malloc_base = 238; free_base = 176; bin_probe = 8; split = 30; coalesce = 35; scale = 1.0 }
+let glibc =
+  { malloc_base = 238;
+    free_base = 176;
+    bin_probe = 8;
+    split = 30;
+    coalesce = 35;
+    deferred_free = 90;
+    scale = 1.0;
+  }
 
-let solaris = { malloc_base = 117; free_base = 85; bin_probe = 6; split = 20; coalesce = 25; scale = 1.0 }
+let solaris =
+  { malloc_base = 117;
+    free_base = 85;
+    bin_probe = 6;
+    split = 20;
+    coalesce = 25;
+    deferred_free = 45;
+    scale = 1.0;
+  }
 
 let scaled t f = { t with scale = t.scale *. f }
 

@@ -13,6 +13,10 @@ type t = {
   bin_probe : int;       (** examining one candidate bin / free-list node *)
   split : int;           (** splitting a remainder off a chunk *)
   coalesce : int;        (** merging with one neighbour *)
+  deferred_free : int;   (** binning a freed chunk with coalescing deferred:
+                             a tag write and a LIFO push, no neighbour
+                             merges — the price of a free under
+                             {!Dlheap.params.defer_coalescing} *)
   scale : float;
 }
 

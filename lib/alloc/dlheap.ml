@@ -7,6 +7,8 @@ type params = {
   top_pad : int;
   sub_heap_bytes : int;
   use_fastbins : bool;
+  defer_coalescing : bool;
+  exact_fit : bool;
   mmap_fallback : bool;
 }
 
@@ -16,6 +18,8 @@ let default_params =
     top_pad = 4096;
     sub_heap_bytes = 1024 * 1024;
     use_fastbins = false;
+    defer_coalescing = false;
+    exact_fit = true;
     mmap_fallback = true;
   }
 
@@ -54,6 +58,11 @@ type t = {
   stats : Astats.t;
   kind : kind;
   bins : chunk option array;
+  mutable binmap_small : int;  (* bit i set iff bins.(i) is non-empty, for
+                                  the 62 exact-spacing small bins — the
+                                  first-fit scan is a ctz instead of a
+                                  walk over empty slots *)
+  mutable binmap_large : int;  (* same, bit (i - 62) for bins 62..95 *)
   fastbins : chunk option array;              (* glibc-2.3-style no-coalesce caches, opt-in *)
   chunks : chunk Int_table.t;                 (* every non-top chunk, by addr;
                                                  probed on every free and
@@ -112,6 +121,8 @@ let create_main proc ~costs ~params ~stats =
     stats;
     kind = Main;
     bins = Array.make nbins None;
+    binmap_small = 0;
+    binmap_large = 0;
     fastbins = Array.make nfastbins None;
     chunks = Int_table.create ~initial:256 ();
     mm_chunks = Int_table.create ~initial:16 ();
@@ -131,6 +142,8 @@ let create_sub ctx ~costs ~params ~stats =
           stats;
           kind = Sub { region_base; region_len = params.sub_heap_bytes; sub_brk = region_base };
           bins = Array.make nbins None;
+          binmap_small = 0;
+          binmap_large = 0;
           fastbins = Array.make nfastbins None;
           chunks = Int_table.create ~initial:256 ();
           mm_chunks = Int_table.create ~initial:16 ();
@@ -144,14 +157,42 @@ let create_sub ctx ~costs ~params ~stats =
 
 (* --- bin list management ------------------------------------------------ *)
 
+(* Occupancy bitmap over the bins, split small/large because 96 bins
+   exceed one OCaml int. Maintained at the only two places a bin's
+   emptiness can change ([bin_insert], [unlink]); [search_bins] and the
+   exact-fit fast path read it so a first-fit scan never visits an
+   empty slot. *)
+
+let binmap_set t idx =
+  if idx < small_bin_count then t.binmap_small <- t.binmap_small lor (1 lsl idx)
+  else t.binmap_large <- t.binmap_large lor (1 lsl (idx - small_bin_count))
+
+let binmap_clear_if_empty t idx =
+  if t.bins.(idx) = None then
+    if idx < small_bin_count then t.binmap_small <- t.binmap_small land lnot (1 lsl idx)
+    else t.binmap_large <- t.binmap_large land lnot (1 lsl (idx - small_bin_count))
+
+(* Count trailing zeros of a non-zero word (62 bits used at most). *)
+let ctz v =
+  let n = ref 0 and v = ref v in
+  if !v land 0xFFFFFFFF = 0 then begin n := 32; v := !v lsr 32 end;
+  if !v land 0xFFFF = 0 then begin n := !n + 16; v := !v lsr 16 end;
+  if !v land 0xFF = 0 then begin n := !n + 8; v := !v lsr 8 end;
+  if !v land 0xF = 0 then begin n := !n + 4; v := !v lsr 4 end;
+  if !v land 0x3 = 0 then begin n := !n + 2; v := !v lsr 2 end;
+  if !v land 0x1 = 0 then incr n;
+  !n
+
 let unlink t c =
+  let idx = c.bin in
   (match c.bk with
   | Some b -> b.fd <- c.fd
-  | None -> t.bins.(c.bin) <- c.fd);
+  | None -> t.bins.(idx) <- c.fd);
   (match c.fd with Some f -> f.bk <- c.bk | None -> ());
   c.fd <- None;
   c.bk <- None;
-  c.bin <- -1
+  c.bin <- -1;
+  binmap_clear_if_empty t idx
 
 (* Insert into its bin: small bins are LIFO; large bins are kept sorted
    ascending by size so the first fitting chunk is the best fit. Returns
@@ -159,6 +200,7 @@ let unlink t c =
 let bin_insert t c =
   let idx = bin_index c.size in
   c.bin <- idx;
+  binmap_set t idx;
   if is_small c.size then begin
     (match t.bins.(idx) with
     | Some head ->
@@ -354,6 +396,36 @@ let coalesce_and_bin t ctx c =
     M.write_mem ctx c.addr
   end
 
+(* Merge every binned free chunk with its free neighbours — the bulk
+   companion to [defer_coalescing]: frees skip the merge work, and this
+   pass performs it wholesale when the heap would otherwise grow.
+   Returns the number of chunks that went through the coalescing path.
+   Chunks absorbed by an earlier merge in the same pass are recognized
+   by their cleared bin tag and skipped. *)
+let consolidate_deferred t ctx =
+  let pending = ref [] in
+  for i = nbins - 1 downto 0 do
+    let rec collect node =
+      match node with
+      | None -> ()
+      | Some c ->
+          pending := c :: !pending;
+          collect c.fd
+    in
+    collect t.bins.(i)
+  done;
+  let merged = ref 0 in
+  List.iter
+    (fun c ->
+      if c.is_free && c.bin >= 0 then begin
+        incr merged;
+        unlink t c;
+        coalesce_and_bin t ctx c
+      end)
+    !pending;
+  t.stats.Astats.consolidations <- t.stats.Astats.consolidations + 1;
+  !merged
+
 (* Drain every fastbin through the normal coalescing path — what glibc's
    malloc_consolidate does before growing the heap. Returns the number
    of chunks consolidated. *)
@@ -378,30 +450,44 @@ let consolidate_fastbins t ctx =
   !drained
 
 (* Scan bins at [idx] and above for the first chunk of at least [csize];
-   large bins are sorted so the first fit within a bin is best. *)
+   large bins are sorted so the first fit within a bin is best. The
+   occupancy bitmaps drive the scan, so only non-empty bins are visited —
+   exactly the bins the plain walk charged probes for, so the simulated
+   cost (and the chunk chosen) is identical to a linear scan. *)
 let search_bins t idx csize =
   let probes = ref 0 in
   let found = ref None in
-  let i = ref idx in
-  while !found = None && !i < nbins do
-    (match t.bins.(!i) with
-    | None -> ()
-    | Some head ->
-        incr probes;
-        let rec walk node =
-          match node with
-          | None -> ()
-          | Some c ->
-              incr probes;
-              if c.size >= csize then found := Some c else walk c.fd
-        in
-        if !i < small_bin_count then begin
+  if idx < small_bin_count then begin
+    let bits = t.binmap_small land ((-1) lsl idx) in
+    if bits <> 0 then begin
+      match t.bins.(ctz bits) with
+      | Some head ->
+          incr probes;
           (* Exact-spacing bin: the head always fits if the bin is right. *)
           if head.size >= csize then found := Some head
-        end
-        else walk (Some head));
-    incr i
-  done;
+      | None -> assert false
+    end
+  end;
+  if !found = None then begin
+    let start = if idx < small_bin_count then 0 else idx - small_bin_count in
+    let bits = ref (t.binmap_large land ((-1) lsl start)) in
+    while !found = None && !bits <> 0 do
+      let i = small_bin_count + ctz !bits in
+      bits := !bits land (!bits - 1);
+      match t.bins.(i) with
+      | Some head ->
+          incr probes;
+          let rec walk node =
+            match node with
+            | None -> ()
+            | Some c ->
+                incr probes;
+                if c.size >= csize then found := Some c else walk c.fd
+          in
+          walk (Some head)
+      | None -> assert false
+    done
+  end;
   (!found, !probes)
 
 let malloc t ctx request =
@@ -427,6 +513,35 @@ let malloc t ctx request =
     M.work ctx (Costs.apply t.costs t.costs.Costs.malloc_base);
     malloc_mmapped t ctx csize
   end
+  else if
+    t.params.exact_fit && is_small csize
+    && t.binmap_small land (1 lsl ((csize - min_chunk_bytes) / align)) <> 0
+  then begin
+    (* Exact-fit fast path: the request's own small bin is occupied, so
+       the answer is its LIFO head — same chunk, same charges (base +
+       one probe; a zero-remainder split charges nothing) as the general
+       scan would produce, without the scan, the general unlink or the
+       split bookkeeping. *)
+    M.work ctx (Costs.apply t.costs t.costs.Costs.malloc_base);
+    let idx = (csize - min_chunk_bytes) / align in
+    match t.bins.(idx) with
+    | Some c when c.size = csize ->
+        charge_probes t ctx 1;
+        (match c.fd with
+        | Some f ->
+            f.bk <- None;
+            t.bins.(idx) <- c.fd
+        | None ->
+            t.bins.(idx) <- None;
+            t.binmap_small <- t.binmap_small land lnot (1 lsl idx));
+        c.fd <- None;
+        c.bin <- -1;
+        c.is_free <- false;
+        M.write_mem ctx c.addr;
+        Astats.record_malloc t.stats (c.size - header_bytes);
+        Some (c.addr + header_bytes)
+    | Some _ | None -> assert false (* exact spacing: the head's size is the bin's size *)
+  end
   else begin
     M.work ctx (Costs.apply t.costs t.costs.Costs.malloc_base);
     let idx = bin_index csize in
@@ -447,8 +562,12 @@ let malloc t ctx request =
           Astats.record_malloc t.stats (c.size - header_bytes);
           Some (c.addr + header_bytes)
         end
-        else if t.params.use_fastbins && consolidate_fastbins t ctx > 0 then begin
-          (* glibc consolidates the fastbins before growing the heap;
+        else if
+          (t.params.use_fastbins && consolidate_fastbins t ctx > 0)
+          || (t.params.defer_coalescing && consolidate_deferred t ctx > 0)
+        then begin
+          (* glibc consolidates the fastbins (and, with coalescing
+             deferred, the binned free chunks) before growing the heap;
              retry the bins with the coalesced chunks available. *)
           let found, probes = search_bins t idx csize in
           charge_probes t ctx probes;
@@ -516,6 +635,19 @@ let free t ctx user =
       c.in_fastbin <- true;
       c.fd <- t.fastbins.(idx);
       t.fastbins.(idx) <- Some c;
+      M.write_mem ctx c.addr
+    end
+    else if t.params.defer_coalescing && is_small c.size then begin
+      (* Deferred coalescing: tag the chunk free and LIFO-push it into
+         its exact-spacing bin, leaving the neighbour merges to a bulk
+         [consolidate_deferred] pass when the heap would otherwise
+         grow. The chunk is immediately reusable through the exact-fit
+         fast path. *)
+      M.work ctx (Costs.apply t.costs t.costs.Costs.deferred_free);
+      t.stats.Astats.deferred_frees <- t.stats.Astats.deferred_frees + 1;
+      c.is_free <- true;
+      let probes = bin_insert t c in
+      charge_probes t ctx probes;
       M.write_mem ctx c.addr
     end
     else begin
@@ -599,7 +731,8 @@ let validate t =
               else if c.size mod align <> 0 then fail "misaligned size at 0x%x" addr
               else if c.prev_size <> prev_size then
                 fail "bad boundary tag at 0x%x: prev_size=%d, actual=%d" addr c.prev_size prev_size
-              else if c.is_free && prev_free then fail "adjacent free chunks at 0x%x" addr
+              else if c.is_free && prev_free && not t.params.defer_coalescing then
+                fail "adjacent free chunks at 0x%x" addr
               else if c.is_free && c.bin < 0 then fail "free chunk at 0x%x not in a bin" addr
               else if (not c.is_free) && c.bin >= 0 then fail "live chunk at 0x%x still binned" addr
               else walk (addr + c.size) c.size c.is_free
@@ -645,6 +778,22 @@ let validate t =
     if !binned <> free_chunks then fail "%d free chunks but %d binned" free_chunks !binned
     else Ok ()
   in
+  let check_binmap () =
+    let rec check idx =
+      if idx >= nbins then Ok ()
+      else begin
+        let bit =
+          if idx < small_bin_count then t.binmap_small land (1 lsl idx)
+          else t.binmap_large land (1 lsl (idx - small_bin_count))
+        in
+        match (t.bins.(idx), bit) with
+        | Some _, 0 -> fail "bin %d occupied but binmap bit clear" idx
+        | None, b when b <> 0 -> fail "bin %d empty but binmap bit set" idx
+        | _ -> check (idx + 1)
+      end
+    in
+    check 0
+  in
   let check_fastbins () =
     let bad = ref None in
     Array.iteri
@@ -672,4 +821,8 @@ let validate t =
   | Ok () -> (
       match check_bins () with
       | Error _ as e -> e
-      | Ok () -> ( match check_counts () with Error _ as e -> e | Ok () -> check_fastbins ()))
+      | Ok () -> (
+          match check_counts () with
+          | Error _ as e -> e
+          | Ok () -> (
+              match check_binmap () with Error _ as e -> e | Ok () -> check_fastbins ())))

@@ -267,6 +267,7 @@ type tunable =
   | Trim_threshold of int
   | Top_pad of int
   | Fastbins of bool
+  | Defer_coalescing of bool
 
 let mallopt t tunable =
   let params =
@@ -281,6 +282,7 @@ let mallopt t tunable =
         if v < 0 then invalid_arg "mallopt: M_TOP_PAD < 0";
         { t.params with Dlheap.top_pad = v }
     | Fastbins v -> { t.params with Dlheap.use_fastbins = v }
+    | Defer_coalescing v -> { t.params with Dlheap.defer_coalescing = v }
   in
   t.params <- params;
   for i = 0 to t.n_arenas - 1 do

@@ -61,6 +61,8 @@ type tunable =
   | Trim_threshold of int  (** M_TRIM_THRESHOLD: release top above this *)
   | Top_pad of int         (** M_TOP_PAD: slack kept on heap growth *)
   | Fastbins of bool       (** enable the glibc-2.3-style fast path (M_MXFAST-ish) *)
+  | Defer_coalescing of bool
+      (** defer small-chunk coalescing to bulk passes ({!Dlheap.params.defer_coalescing}) *)
 
 val mallopt : t -> tunable -> unit
 (** @raise Invalid_argument on non-positive thresholds. *)

@@ -493,3 +493,52 @@ let slab_contention opts =
           pt.Bench1.lock_contended_ops;
       ];
   }
+
+(* Deferred coalescing: bin small frees without merging neighbours and
+   consolidate in bulk when a search comes up empty.  Same loop shape as
+   the fastbins ablation so the two variants are directly comparable. *)
+let ablate_deferred opts =
+  let time defer_coalescing =
+    let params =
+      { Mb_alloc.Dlheap.default_params with Mb_alloc.Dlheap.defer_coalescing }
+    in
+    let m = Machine.create ~seed:opts.seed Configs.dual_pentium_pro in
+    let proc = Machine.create_proc m ~name:"dc" () in
+    let pt = Mb_alloc.Ptmalloc.make proc ~params () in
+    let alloc = Mb_alloc.Ptmalloc.allocator pt in
+    let iters = pick opts ~full:30_000 ~quick:6_000 in
+    let th =
+      Machine.spawn proc (fun ctx ->
+          let fault = Machine.ctx_fault ctx in
+          for _ = 1 to iters do
+            match alloc.A.malloc ctx 40 with
+            | u -> alloc.A.free ctx u
+            | exception Fault.Alloc_failure _ -> Fault.note_degraded fault
+          done)
+    in
+    Machine.run m;
+    (match alloc.A.validate () with
+    | Ok () -> ()
+    | Error msg -> failwith ("ablate-deferred: " ^ msg));
+    Machine.elapsed_ns th /. float_of_int iters
+  in
+  let classic = time false and deferred = time true in
+  let title =
+    "Ablation: deferred coalescing on the 40-byte malloc/free loop (dual PPro)"
+  in
+  let tbl =
+    Table.make ~title ~header:[ "allocator"; "ns per malloc/free pair (simulated)" ]
+  in
+  Table.row tbl [ "eager coalescing (study subject)"; Printf.sprintf "%.0f" classic ];
+  Table.row tbl [ "deferred coalescing"; Printf.sprintf "%.0f" deferred ];
+  { Outcome.id = "ablate-deferred";
+    title;
+    text = Table.to_string tbl;
+    series = [];
+    checks =
+      [ Outcome.check "deferred coalescing shortens the small-chunk free path"
+          (deferred < classic *. 0.95)
+          "%.0f ns vs %.0f ns per pair (%.0f%% saved)" deferred classic
+          ((classic -. deferred) /. classic *. 100.);
+      ];
+  }

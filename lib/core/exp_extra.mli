@@ -38,6 +38,10 @@ val ablate_bkl : Exp_common.opts -> Outcome.t
 val ablate_fastbins : Exp_common.opts -> Outcome.t
 (** What the glibc-2.3 fastbin evolution buys the small-chunk path. *)
 
+val ablate_deferred : Exp_common.opts -> Outcome.t
+(** What deferring small-chunk coalescing ({!Mb_alloc.Dlheap.params}'
+    [defer_coalescing]) buys the free path on the same 40-byte loop. *)
+
 val larson : Exp_common.opts -> Outcome.t
 (** The unsimplified Larson & Krishnan benchmark (the paper's [5]):
     random sizes and thread recycling across the allocators; checks the

@@ -32,6 +32,7 @@ let extensions =
     ("ablate-fastbins", Exp_extra.ablate_fastbins);
     ("ablate-crowding", Exp_extra.ablate_crowding);
     ("larson", Exp_extra.larson);
+    ("ablate-deferred", Exp_extra.ablate_deferred);
   ]
 
 let all = paper_artifacts @ extensions

@@ -91,6 +91,7 @@ type t = {
   mutable mmap_calls : int;
   mutable munmap_calls : int;
   domains : int;  (* conservative-executor crew width (1 = serial run) *)
+  window_batch : int;  (* lookahead windows per merge barrier *)
   lookahead_ns : float;  (* conservative window floor: the cheapest
                             cross-CPU scheduling edge, in simulated ns *)
   mutable domain_stats : Mb_parallel.Conservative.stats option;
@@ -109,8 +110,28 @@ and mutex = {
                         contended-vs-uncontended metrics split *)
   mutable owner : thread option;
   waiters : thread Queue.t;
+  mutable spinners : spinner list;  (* suspended spin-wait registrations,
+                                       in spin-entry order; the release
+                                       sites drive their wake-ups *)
   mutable contentions : int;
   mutable acquisitions : int;
+}
+
+(* One registration per spinner suspended in [spin_on]'s poller branch.
+   [sbase] is the simulated time of the last probe boundary already
+   accounted; [srem] the spin cycles still budgeted past it. Probe
+   boundaries are materialized lazily — see the big comment at
+   [spin_on]. *)
+and spinner = {
+  sth : thread;
+  smu : mutex;
+  mutable sbase : float;
+  mutable srem : int;
+  mutable salive : bool;
+  mutable swake : bool;  (* a wake event is already queued at the next
+                            boundary, so release sites must not queue a
+                            second one *)
+  mutable sresume : unit -> unit;
 }
 
 and proc = {
@@ -213,6 +234,16 @@ let create ?(seed = 42) ?obs ?check ?fault ?domains (config : config) =
             | _ -> invalid_arg "MALLOC_REPRO_DOMAINS: expected a positive integer")
         | None -> 1)
   in
+  (* Lookahead windows per merge barrier (see Conservative.run ?batch):
+     purely a mechanics knob, the schedule is identical at any value. *)
+  let window_batch =
+    match Sys.getenv_opt "MALLOC_REPRO_WINDOW_BATCH" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> invalid_arg "MALLOC_REPRO_WINDOW_BATCH: expected a positive integer")
+    | None -> Mb_parallel.Conservative.default_batch
+  in
   (* Conservative lookahead: no event scheduled by running code lands
      sooner after "now" than the machine's cheapest scheduling edge — a
      stub lock's uncontended acquire is the shortest delay any path
@@ -256,6 +287,7 @@ let create ?(seed = 42) ?obs ?check ?fault ?domains (config : config) =
     mmap_calls = 0;
     munmap_calls = 0;
     domains;
+    window_batch;
     lookahead_ns;
     domain_stats = None;
   }
@@ -327,9 +359,16 @@ let flush_observations t =
             domain-count-invariant — see Conservative. *)
          Obs.set t.obs "sched.domains" st.domains;
          Obs.set t.obs "sched.domain.horizon_advances" st.windows;
+         Obs.set t.obs "sched.domain.window_batch" st.batch;
          Obs.set t.obs "sched.domain.drained" st.drained;
          Obs.set t.obs "sched.domain.sync_stalls" st.residue;
          Obs.set t.obs "sched.domain.barrier_waits" st.barrier_waits;
+         (* Host wall-clock split between the serial execute phase and
+            the parallel drain phase — the two sides of Amdahl's law
+            for this executor. Wall-clock, hence host-dependent: the
+            only sched.* counters that are not run-deterministic. *)
+         Obs.set t.obs "sched.domain.exec_ns" (int_of_float st.exec_ns);
+         Obs.set t.obs "sched.domain.drain_ns" (int_of_float st.drain_ns);
          Array.iteri
            (fun i n ->
              Obs.set t.obs
@@ -340,10 +379,34 @@ let flush_observations t =
 
 let run t =
   if t.domains = 1 then Engine.run t.engine
-  else
+  else begin
+    (* Mechanical side work for the crew's drain phases, one job per
+       barrier, round-robin over whatever is enabled: serialize the
+       trace events recorded so far (their JSON rendering otherwise
+       lands on the flush path), or pre-grow the checker's shadow
+       tables (the rehash otherwise lands mid-execute). Both jobs are
+       observable-behaviour-free by contract, so the schedule and all
+       outputs stay byte-identical to the serial run. *)
+    let side_flip = ref false in
+    let side () =
+      side_flip := not !side_flip;
+      let stage_trace =
+        Obs.tracing t.obs
+        && (!side_flip || not t.check_on)
+        && Obs.has_pending t.obs
+      in
+      if stage_trace then begin
+        let evs = Obs.take_events t.obs in
+        Some (fun () -> Mb_obs.Trace_json.stage_events t.obs evs)
+      end
+      else if t.check_on then Some (fun () -> Check.preflight t.check)
+      else None
+    in
     t.domain_stats <-
       Some (Mb_parallel.Conservative.run t.engine ~domains:t.domains
-              ~lookahead_ns:t.lookahead_ns);
+              ~batch:t.window_batch ~side
+              ~lookahead_ns:t.lookahead_ns)
+  end;
   flush_observations t
 
 let now_ns t = Engine.now t.engine
@@ -543,6 +606,7 @@ let mutex_make ?(heap = false) mm mname =
       heap_lock = heap;
       owner = None;
       waiters = Queue.create ();
+      spinners = [];
       contentions = 0;
       acquisitions = 0;
     }
@@ -584,42 +648,152 @@ let rec spin_on_steps mu th budget =
   end
 
 (* The probes must land at exactly the simulated times the step loop
-   above produces, but a probe needs no thread state — so instead of a
-   full effect suspend/resume per 8-cycle step (the costliest operation
-   in the simulator, and under heavy contention the bulk of all
-   events), the thread suspends once and a self-re-arming engine thunk
-   does the polling, re-entering the thread in place on the final
-   probe. Each probe replicates [work_exact_cycles]'s fast branch:
-   account the cycles at wake time, then decide. The 64-cycle slack in
-   the entry guard keeps the quantum strictly positive through every
-   probe, so the fast branch is exact (no preempt, no quantum refresh);
-   the rare spin that straddles a quantum boundary takes the step loop,
+   above produces, but between two changes of [mu.owner] every probe is
+   a no-op: it reads a word nothing wrote, accounts its cycles and
+   re-arms. Owner changes only happen inside event executions, and the
+   release sites are known — so instead of one queued event per 8-cycle
+   step (under heavy contention ~90% of all events in the simulator),
+   the thread suspends once, registers on the mutex, and the *release*
+   site schedules its wake at the exact probe boundary that would have
+   observed the release. Boundary times are reproduced bit-for-bit by
+   iterating the same float arithmetic the chain used
+   (t += float step *. cycle_ns), and the elided no-op probes' cycle
+   accounting is applied in bulk when a boundary is materialized —
+   nothing reads a suspended spinner's counters in between, so the
+   laziness is invisible. One up-front event at the budget-exhaustion
+   boundary bounds the spin when the lock is never released (or is
+   handed off directly and never reads None).
+
+   Schedule neutrality: a wake pushed from the releasing event gets its
+   sequence number during that event's execution, before anything the
+   releaser subsequently pushes and after everything already queued —
+   exactly the relative order the surviving probe's push had in the
+   chain (its predecessors executed in a window where no other event
+   ran). Same-phase spinners on one mutex wake in registration order,
+   which is the order their chains interleaved. A probe boundary that
+   ties the releasing event's time exactly wakes at that same time: in
+   the chain, the probe's push (8 cycles earlier) always followed the
+   releaser's own wake-up push (≥ lock-op cost ≡ 14 cycles earlier), so
+   the tied probe ran after the release and observed it.
+
+   Each materialized probe replicates [work_exact_cycles]'s fast
+   branch: account the cycles, then decide. The 64-cycle slack in the
+   entry guard keeps the quantum strictly positive through every probe,
+   so the fast branch is exact (no preempt, no quantum refresh); the
+   rare spin that straddles a quantum boundary takes the step loop,
    which handles preemption. *)
+
+let spin_step_account th m fc =
+  th.hot.cpu_cycles <- th.hot.cpu_cycles +. fc;
+  m.mh.busy <- m.mh.busy +. fc;
+  th.hot.quantum_left <- th.hot.quantum_left -. fc
+
+(* Materialize every probe boundary strictly below [t_lim]: each one is
+   a no-op probe the chain would have run, so account its step and
+   advance the phase. A boundary exactly at [t_lim] stays pending — a
+   release at that time is observed *by* that probe (see above). *)
+let spin_advance m sp t_lim =
+  let continue_ = ref true in
+  while !continue_ && sp.srem > 0 do
+    let step = if sp.srem < 8 then sp.srem else 8 in
+    let fc = float_of_int step in
+    let nxt = sp.sbase +. (fc *. m.cycle_ns) in
+    if nxt < t_lim then begin
+      spin_step_account sp.sth m fc;
+      sp.sbase <- nxt;
+      sp.srem <- sp.srem - step
+    end
+    else continue_ := false
+  done
+
+let spin_finish sp =
+  sp.salive <- false;
+  let mu = sp.smu in
+  mu.spinners <- List.filter (fun s -> s != sp) mu.spinners;
+  let resume = sp.sresume in
+  sp.sresume <- no_resume;
+  resume ()
+
+(* Wake event at one probe boundary: account this probe's step, then
+   decide exactly as the chain's probe did — keep spinning (silently:
+   the next release or the exhaustion event drives the next wake),
+   or re-enter the thread. *)
+let spin_wake sp () =
+  if sp.salive then begin
+    sp.swake <- false;
+    let mu = sp.smu in
+    let m = mu.mm in
+    let step = if sp.srem < 8 then sp.srem else 8 in
+    spin_step_account sp.sth m (float_of_int step);
+    sp.sbase <- Engine.now m.engine;
+    sp.srem <- sp.srem - step;
+    if sp.srem > 0 && (match mu.owner with Some _ -> true | None -> false)
+    then ()
+    else spin_finish sp
+  end
+
+(* Up-front event at the final probe boundary: if no release resumed
+   the spinner first, materialize the remaining no-op probes and
+   re-enter the thread with the budget exhausted. *)
+let spin_expire sp () =
+  if sp.salive then begin
+    let m = sp.smu.mm in
+    let t_end = Engine.now m.engine in
+    spin_advance m sp t_end;
+    spin_step_account sp.sth m (float_of_int sp.srem);
+    sp.sbase <- t_end;
+    sp.srem <- 0;
+    spin_finish sp
+  end
+
+(* Release hook, called right after [mu.owner <- None]: catch every
+   registration up to now (all skipped boundaries were no-op probes —
+   the lock was held through them) and queue its wake at the first
+   boundary that observes the release. [swake] dedupes: a still-pending
+   wake already lands on that exact boundary, because no boundary lies
+   between two releases with no probe in between. *)
+let wake_spinners mu =
+  let m = mu.mm in
+  let now = Engine.now m.engine in
+  List.iter
+    (fun sp ->
+      if sp.salive then begin
+        spin_advance m sp now;
+        if (not sp.swake) && sp.srem > 0 then begin
+          sp.swake <- true;
+          let step = if sp.srem < 8 then sp.srem else 8 in
+          let t_w = sp.sbase +. (float_of_int step *. m.cycle_ns) in
+          Engine.at m.engine t_w (spin_wake sp)
+        end
+      end)
+    mu.spinners
+
 let spin_on mu th budget =
   if budget > 0 && (match mu.owner with Some _ -> true | None -> false) then begin
     let m = th.tproc.pm in
     if float_of_int (budget + 64) >= th.hot.quantum_left then spin_on_steps mu th budget
     else
       Engine.suspend m.engine (fun resume ->
-          let remaining = ref budget in
-          let rec arm () =
-            let b = !remaining in
-            let step = if b < 8 then b else 8 in
-            m.dcell.Mb_sim.Pqueue.cell_time <- float_of_int step *. m.cycle_ns;
-            Engine.after_pending m.engine probe
-          and probe () =
-            let b = !remaining in
-            let step = if b < 8 then b else 8 in
-            let fc = float_of_int step in
-            th.hot.cpu_cycles <- th.hot.cpu_cycles +. fc;
-            m.mh.busy <- m.mh.busy +. fc;
-            th.hot.quantum_left <- th.hot.quantum_left -. fc;
-            remaining := b - step;
-            if !remaining > 0 && (match mu.owner with Some _ -> true | None -> false)
-            then arm ()
-            else resume ()
+          let sp =
+            { sth = th;
+              smu = mu;
+              sbase = Engine.now m.engine;
+              srem = budget;
+              salive = true;
+              swake = false;
+              sresume = resume;
+            }
           in
-          arm ())
+          mu.spinners <- mu.spinners @ [ sp ];
+          (* Budget-exhaustion boundary, by the same iterated float
+             arithmetic the probe chain accumulates. *)
+          let t_end = ref sp.sbase and b = ref budget in
+          while !b > 0 do
+            let step = if !b < 8 then !b else 8 in
+            t_end := !t_end +. (float_of_int step *. m.cycle_ns);
+            b := !b - step
+          done;
+          Engine.at m.engine !t_end (spin_expire sp))
   end
 
 (* Contended path: spin (on SMP, if configured), then either race a CAS
@@ -714,10 +888,13 @@ let mutex_unlock mu th =
       else begin
         (* Barging: free the lock, wake the waiter, let it re-compete. *)
         mu.owner <- None;
+        if mu.spinners <> [] then wake_spinners mu;
         work_exact_cycles th mu.mm.config.wake_cycles;
         make_ready mu.mm w
       end
-  | None -> mu.owner <- None
+  | None ->
+      mu.owner <- None;
+      if mu.spinners <> [] then wake_spinners mu
 
 (* The 2.2-era kernel serialized VM syscalls behind the big kernel lock
    (the paper patched sbrk to avoid it, mm/mmap.c in 2.3.5-2.3.7). *)

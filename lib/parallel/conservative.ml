@@ -48,10 +48,13 @@ module Tw = Mb_sim.Timing_wheel
 type stats = {
   domains : int;
   windows : int;
+  batch : int;
   drained : int;
   residue : int;
   barrier_waits : int;
   per_domain_drained : int array;
+  drain_ns : float;
+  exec_ns : float;
 }
 
 (* Per-shard staging buffer: (key, pk) pairs in drain (= sorted) order.
@@ -64,10 +67,13 @@ type buf = {
 }
 
 let default_target = 48
+let default_batch = 4
 
-let run ?(target = default_target) engine ~domains ~lookahead_ns =
+let run ?(target = default_target) ?(batch = default_batch) ?side engine ~domains
+    ~lookahead_ns =
   if domains < 1 then invalid_arg "Conservative.run: domains < 1";
   if target < 1 then invalid_arg "Conservative.run: target < 1";
+  if batch < 1 then invalid_arg "Conservative.run: batch < 1";
   let q = Engine.queue engine in
   let shards = Shard.shards q in
   (* More domains than shards would leave crews idle; cap silently so
@@ -98,12 +104,16 @@ let run ?(target = default_target) engine ~domains ~lookahead_ns =
          b.n <- n + 1)
       bufs
   in
-  (* Domain g owns shards g, g+d, g+2d, ... *)
+  (* Domain g owns shards g, g+d, g+2d, ... After draining a shard the
+     same domain presorts its wheel's next L1 buckets — mechanical,
+     ordering-invisible work (see Timing_wheel.presort_l1) done here
+     because the drain phase is when the domain owns the wheel. *)
   let drain_group g horizon_key =
     let total = ref 0 in
     let i = ref g in
     while !i < shards do
       total := !total + Shard.drain_shard q ~shard:!i ~horizon_key ~emit:emits.(!i);
+      Shard.presort q ~shard:!i ~buckets:2;
       i := !i + d
     done;
     !total
@@ -112,6 +122,8 @@ let run ?(target = default_target) engine ~domains ~lookahead_ns =
   let drained = ref 0 in
   let residue = ref 0 in
   let per_domain = Array.make d 0 in
+  let drain_s = ref 0. in
+  let exec_s = ref 0. in
   let lookahead_ns = if lookahead_ns > 0. then lookahead_ns else 1. in
   let window_ns = ref (max lookahead_ns 1.) in
   (* Current plan head: argmin over the staging cursors. Rescans cost
@@ -164,22 +176,43 @@ let run ?(target = default_target) engine ~domains ~lookahead_ns =
       if Shard.is_empty q then Engine.check_stall engine
       else begin
         incr windows;
+        let t0 = Unix.gettimeofday () in
         let fk = Shard.min_key q in
+        (* One merge barrier covers a batch of [batch] lookahead
+           windows: the horizon advances batch windows at once, so the
+           crew synchronizes once per batch instead of once per window.
+           Widening the horizon never reorders anything — the executor
+           replays the staged plan in exact (key, pk) order and the
+           residue path already covers mid-window arrivals — it only
+           re-sizes the mechanical batches. *)
         let horizon_key =
-          let hk = Tw.key_of_time (Tw.time_of_key fk +. !window_ns) in
+          let hk =
+            Tw.key_of_time (Tw.time_of_key fk +. (float_of_int batch *. !window_ns))
+          in
           if hk <= fk then fk + 1 else hk
         in
         for i = 0 to shards - 1 do
           bufs.(i).n <- 0;
           cursors.(i) <- 0
         done;
+        (* Side work rides the same barrier: one mechanical job per
+           window (trace serialization, checker table growth), taken
+           from the machine layer while the simulation is quiescent and
+           run on a crew domain alongside the drains. *)
+        let side_job = match side with Some f -> f () | None -> None in
         let drained_now =
           match crew with
           | None ->
+              (match side_job with Some job -> job () | None -> ());
               let n = drain_group 0 horizon_key in
               per_domain.(0) <- per_domain.(0) + n;
               n
           | Some pool ->
+              let side_fut =
+                match side_job with
+                | Some job -> Some (Pool.submit pool ~key:"conservative-side" job)
+                | None -> None
+              in
               let futs =
                 Array.init (d - 1) (fun k ->
                     Pool.submit pool ~key:"conservative-drain" (fun () ->
@@ -194,20 +227,25 @@ let run ?(target = default_target) engine ~domains ~lookahead_ns =
                   per_domain.(k + 1) <- per_domain.(k + 1) + n;
                   total := !total + n)
                 futs;
+              (match side_fut with Some fut -> Pool.await pool fut | None -> ());
               !total
         in
         Shard.resync q;
         drained := !drained + drained_now;
-        (* Window auto-sizing: aim for [target] events per window. The
-           drained set is a pure function of the horizon sequence and
-           the event stream — both domain-count-independent — so the
-           adaptation, and with it every counter except the per-domain
-           split, is identical at any domain count. *)
-        if drained_now < (target + 1) / 2 then
+        (* Window auto-sizing: aim for [target] events per window,
+           [batch * target] per barrier. The drained set is a pure
+           function of the horizon sequence and the event stream — both
+           domain-count-independent — so the adaptation, and with it
+           every counter except the per-domain split, is identical at
+           any domain count. *)
+        if drained_now < batch * ((target + 1) / 2) then
           window_ns := Float.min (!window_ns *. 2.) 1e12
-        else if drained_now > target * 4 then
+        else if drained_now > batch * target * 4 then
           window_ns := Float.max (!window_ns /. 2.) lookahead_ns;
+        let t1 = Unix.gettimeofday () in
+        drain_s := !drain_s +. (t1 -. t0);
         execute_merged (rescan_plan ());
+        exec_s := !exec_s +. (Unix.gettimeofday () -. t1);
         window ()
       end
     in
@@ -219,8 +257,11 @@ let run ?(target = default_target) engine ~domains ~lookahead_ns =
   else run_windows None;
   { domains = d;
     windows = !windows;
+    batch;
     drained = !drained;
     residue = !residue;
     barrier_waits = !windows * (d - 1);
     per_domain_drained = per_domain;
+    drain_ns = !drain_s *. 1e9;
+    exec_ns = !exec_s *. 1e9;
   }

@@ -22,7 +22,10 @@ type stats = {
       (** Effective crew width: the requested domain count capped at
           the engine's shard count. *)
   windows : int;
-      (** Horizon advances — one per drain/execute round. *)
+      (** Merge barriers — one per drain/execute round (each round
+          covers [batch] lookahead windows). *)
+  batch : int;
+      (** Lookahead windows per merge barrier. *)
   drained : int;
       (** Events staged by drains (excludes residue events, which ran
           straight off the live queues). *)
@@ -35,21 +38,46 @@ type stats = {
   per_domain_drained : int array;
       (** Events drained by each crew member ([length = domains]);
           the only field whose value depends on the domain count. *)
+  drain_ns : float;
+      (** Host wall-clock spent in the parallel phase (drains, side
+          jobs, barrier, resync), in nanoseconds. Wall-clock, so
+          host-dependent — unlike every other field. *)
+  exec_ns : float;
+      (** Host wall-clock spent in the serial execute phase, in
+          nanoseconds. [exec_ns /. (exec_ns +. drain_ns)] is the
+          serial fraction the crew cannot help with. *)
 }
 (** Counters for the [sched.domain.*] observations; every field except
-    [per_domain_drained] (and [barrier_waits], which scales with it) is
-    identical at any domain count. *)
+    [per_domain_drained], [barrier_waits] (which scales with the crew)
+    and the wall-clock pair is identical at any domain count. *)
 
 val default_target : int
 (** Default events-per-window target for the adaptive horizon (48). *)
 
-val run : ?target:int -> Mb_sim.Engine.t -> domains:int -> lookahead_ns:float -> stats
+val default_batch : int
+(** Default lookahead windows per merge barrier (4). *)
+
+val run :
+  ?target:int ->
+  ?batch:int ->
+  ?side:(unit -> (unit -> unit) option) ->
+  Mb_sim.Engine.t ->
+  domains:int ->
+  lookahead_ns:float ->
+  stats
 (** [run engine ~domains ~lookahead_ns] drains [engine]'s event queue
     to completion across [domains] domains ([domains] is capped at the
     shard count; 1 means no crew is spawned and the window protocol
     runs entirely on the calling domain). [lookahead_ns] is the
     minimum window width in simulated nanoseconds; windows widen and
     shrink adaptively toward [target] events per window, which only
-    re-sizes the mechanical batches — never the schedule. Returns the
-    window statistics. @raise Mb_sim.Engine.Stalled on deadlock, as
-    {!Mb_sim.Engine.run} would. *)
+    re-sizes the mechanical batches — never the schedule. [batch]
+    lookahead windows are drained and executed per merge barrier, so
+    the crew synchronizes [batch] times less often for the same
+    schedule. [side], polled once per barrier while the simulation is
+    quiescent, may return one mechanical job to run on a crew domain
+    alongside the drains (trace serialization, checker table growth —
+    work that must not change observable behaviour); the job completes
+    before the execute phase resumes. Returns the window statistics.
+    @raise Mb_sim.Engine.Stalled on deadlock, as {!Mb_sim.Engine.run}
+    would. *)

@@ -227,3 +227,8 @@ let shard_pushes t i = t.pushes.(i)
 let ring_hits t = Array.fold_left (fun a w -> a + Timing_wheel.ring_hits w) 0 t.wheels
 let wheel_hits t = Array.fold_left (fun a w -> a + Timing_wheel.wheel_hits w) 0 t.wheels
 let heap_spills t = Array.fold_left (fun a w -> a + Timing_wheel.heap_spills w) 0 t.wheels
+
+(* Drain-phase helper: presort the upcoming L1 buckets of one shard's
+   wheel (see Timing_wheel.presort_l1). Touches only that wheel, like
+   drain_shard, so it may run on the draining domain. *)
+let presort t ~shard ~buckets = Timing_wheel.presort_l1 t.wheels.(shard) ~buckets

@@ -69,3 +69,8 @@ val ring_hits : t -> int
 val wheel_hits : t -> int
 val heap_spills : t -> int
 (** Push-path counters summed over shards (see {!Timing_wheel}). *)
+
+val presort : t -> shard:int -> buckets:int -> unit
+(** Presort the next occupied L1 buckets of [shard]'s wheel (see
+    {!Timing_wheel.presort_l1}): ordering-invisible, touches only that
+    shard's wheel, safe wherever {!drain_shard} is. *)

@@ -492,3 +492,49 @@ let pop t =
 let ring_hits t = t.ring_hits
 let wheel_hits t = t.wheel_hits
 let heap_spills t = t.heap_spills
+
+(* --- drain-phase presorting ------------------------------------------- *)
+
+(* Binary-insertion sort of one bucket's parallel (key, pk) arrays.
+   Buckets are small (a handful of items between two harvests), so a
+   quadratic-move sort beats allocating a scratch array. *)
+let sort_bucket ks ps n =
+  for i = 1 to n - 1 do
+    let key = Array.unsafe_get ks i and pk = Array.unsafe_get ps i in
+    let lo = ref 0 and hi = ref i in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      let mk = Array.unsafe_get ks mid in
+      if mk < key || (mk = key && Array.unsafe_get ps mid < pk) then lo := mid + 1 else hi := mid
+    done;
+    let j = ref i in
+    while !j > !lo do
+      Array.unsafe_set ks !j (Array.unsafe_get ks (!j - 1));
+      Array.unsafe_set ps !j (Array.unsafe_get ps (!j - 1));
+      decr j
+    done;
+    Array.unsafe_set ks !lo key;
+    Array.unsafe_set ps !lo pk
+  done
+
+(* Sort the next [buckets] occupied L1 slots in place, so the coming
+   harvests feed [ring_insert] an ascending stream (appends instead of
+   mid-ring shifts). Ordering-invisible: harvesting filters a bucket by
+   epoch (order-preserving) and sorted-inserts every kept item, so the
+   bucket's internal order never reaches an observable surface — this
+   only relocates the sort work, e.g. into a conservative drain phase
+   where a crew domain owns the wheel exclusively. *)
+let presort_l1 t ~buckets =
+  if t.l1_count > 0 then begin
+    let c = ref t.c1 and left = ref buckets in
+    while !left > 0 && !c < t.c1 + wheel_size do
+      let abs = next_occupied t.l1occ !c in
+      if abs = max_int || abs >= t.c1 + wheel_size then left := 0
+      else begin
+        let slot = abs land wheel_mask in
+        sort_bucket t.l1k.(slot) t.l1p.(slot) t.l1n.(slot);
+        decr left;
+        c := abs + 1
+      end
+    done
+  end

@@ -102,3 +102,12 @@ val wheel_hits : t -> int
 
 val heap_spills : t -> int
 (** Pushes that fell through to the far-future heap. *)
+
+val presort_l1 : t -> buckets:int -> unit
+(** [presort_l1 t ~buckets] sorts the next [buckets] occupied L1 slots
+    in place by (key, pk). Harvesting preserves a bucket's internal
+    order only among items it keeps and sorted-inserts the rest, so
+    presorting cannot change any observable order — it just makes the
+    upcoming harvests feed the ring an ascending (append-cheap) stream.
+    Intended for the conservative executor's drain phases, where the
+    draining domain owns the wheel exclusively. *)

@@ -12,6 +12,7 @@ let () =
       ("cache", Test_cache.suite);
       ("machine", Test_machine.suite);
       ("dlheap", Test_dlheap.suite);
+      ("dlheap_props", Test_dlheap_props.suite);
       ("allocators", Test_allocators.suite);
       ("workload", Test_workload.suite);
       ("report", Test_report.suite);
