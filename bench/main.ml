@@ -56,6 +56,28 @@ module Kernels = struct
       (B3.run
          { B3.default with B3.threads; aligned; object_size = 40; writes = 20_000; paper_writes = 20_000 })
 
+  (* The open-loop traffic engine: acceptor + bounded-queue pool under a
+     Poisson stream just past the knee, so the priced path includes
+     timer sleeps, waitq handoffs and connection churn. *)
+  let server_open ~model () =
+    let module S = Core.Server in
+    ignore
+      (S.run
+         { S.default with
+           S.machine = Core.Configs.quad_xeon;
+           threads = 4;
+           connections = 64;
+           open_loop =
+             Some
+               { S.process = Core.Arrivals.Poisson { rate_rps = 450_000. };
+                 total_requests = 600;
+                 model;
+                 churn_mean_requests = 32;
+                 read_pct = 60;
+                 write_pct = 25;
+               };
+         })
+
   (* Run a kernel with MALLOC_REPRO_DOMAINS set, so its machines use
      the conservative parallel executor at the given width. The domain
      sweep exists to price the window protocol: the schedule (and so
@@ -98,6 +120,8 @@ module Kernels = struct
       ("fig10", bench3 ~threads:3 ~aligned:false);
       ("fig11", bench3 ~threads:4 ~aligned:false);
       ("bench3-aligned", bench3 ~threads:4 ~aligned:true);
+      ("server-open-pool", server_open ~model:(Core.Server.Thread_pool { queue_capacity = 256 }));
+      ("server-open-tpc", server_open ~model:Core.Server.Thread_per_connection);
     ]
 end
 

@@ -292,8 +292,28 @@ let bench3_cmd =
 (* --- server ------------------------------------------------------------ *)
 
 let server_cmd =
-  let run machine factory seed threads requests latency trace metrics gc_stats check faults =
+  let run machine factory seed threads requests latency arrivals model queue churn mix trace
+      metrics gc_stats check faults =
     with_observation ~trace ~metrics ~gc_stats ~check ~faults @@ fun () ->
+    let read_pct, write_pct = mix in
+    let open_loop =
+      match arrivals with
+      | None -> None
+      | Some process ->
+          let model =
+            match model with
+            | `Pool -> Core.Server.Thread_pool { queue_capacity = queue }
+            | `Thread_per_connection -> Core.Server.Thread_per_connection
+          in
+          Some
+            { Core.Server.process;
+              total_requests = requests;
+              model;
+              churn_mean_requests = churn;
+              read_pct;
+              write_pct;
+            }
+    in
     let params =
       { Core.Server.default with
         Core.Server.machine;
@@ -302,23 +322,108 @@ let server_cmd =
         threads;
         requests_per_thread = requests;
         probe_latency = latency;
+        open_loop;
       }
     in
     let r = Core.Server.run params in
-    Printf.printf "threads: %d | requests/thread: %d | allocator: %s\n" threads requests
-      factory.Core.Factory.label;
+    (match open_loop with
+    | None ->
+        Printf.printf "mode: closed loop | threads: %d | requests/thread: %d | allocator: %s\n"
+          threads requests factory.Core.Factory.label
+    | Some o ->
+        Printf.printf "mode: open loop (%s, %s) | total requests: %d | allocator: %s\n"
+          (Core.Arrivals.to_string o.Core.Server.process)
+          (Core.Server.model_label o.Core.Server.model)
+          requests factory.Core.Factory.label);
     Printf.printf "throughput: %.0f req/s (simulated) | makespan: %.3f s\n"
       r.Core.Server.requests_per_second r.Core.Server.elapsed_s;
     Printf.printf "foreign frees: %d | arenas: %d | contended ops: %d\n" r.Core.Server.foreign_frees
       r.Core.Server.arenas r.Core.Server.contended_ops;
+    (match r.Core.Server.requests with
+    | None -> ()
+    | Some s ->
+        Printf.printf
+          "requests: %d completed, %d dropped, %d connections churned | offered %.0f req/s\n"
+          s.Core.Server.completed s.Core.Server.dropped s.Core.Server.churned
+          s.Core.Server.offered_rps;
+        Printf.printf "request latency: p50 %.1f us | p95 %.1f us | p99 %.1f us | max %.1f us\n"
+          (s.Core.Server.p50_ns /. 1e3) (s.Core.Server.p95_ns /. 1e3)
+          (s.Core.Server.p99_ns /. 1e3) (s.Core.Server.max_ns /. 1e3);
+        List.iter
+          (fun (cls, n) -> Printf.printf "  class %-6s %d completed\n" cls n)
+          s.Core.Server.by_class);
     match r.Core.Server.latency with
     | None -> ()
     | Some p ->
         Printf.printf "malloc latency: mean %.0f ns, p99 %.0f ns, uptime drift %.2f\n"
-          p.Core.Server.malloc_mean_ns p.Core.Server.malloc_p99_ns p.Core.Server.drift
+          p.Core.Server.malloc_mean_ns p.Core.Server.malloc_p99_ns p.Core.Server.drift;
+        List.iter
+          (fun (o : Core.Server.op_stat) ->
+            Printf.printf "  op %-7s %6d samples | mean %.0f ns | p99 %.0f ns\n"
+              o.Core.Server.op o.Core.Server.op_count o.Core.Server.op_mean_ns
+              o.Core.Server.op_p99_ns)
+          p.Core.Server.op_stats
   in
-  let requests = Arg.(value & opt int 2_000 & info [ "requests" ] ~doc:"Requests per worker.") in
-  let latency = Arg.(value & flag & info [ "latency" ] ~doc:"Probe per-malloc latency.") in
+  let requests =
+    Arg.(value & opt int 2_000
+         & info [ "requests" ]
+             ~doc:"Requests per worker (closed loop) or total arrivals (open loop).")
+  in
+  let latency = Arg.(value & flag & info [ "latency" ] ~doc:"Probe per-allocator-op latency.") in
+  let arrivals_conv =
+    let parse s =
+      match Core.Arrivals.of_string s with
+      | p -> Ok p
+      | exception Invalid_argument msg -> Error (`Msg msg)
+    in
+    let print fmt p = Format.pp_print_string fmt (Core.Arrivals.to_string p) in
+    Arg.conv (parse, print)
+  in
+  let arrivals =
+    Arg.(value & opt (some arrivals_conv) None
+         & info [ "arrivals" ] ~docv:"SPEC"
+             ~doc:"Drive the server open loop from a deterministic arrival process instead of \
+                   the closed-loop workers: $(b,poisson:RATE), \
+                   $(b,bursty:BASE:BURST:ON_S:OFF_S) or $(b,diurnal:LOW:HIGH:PERIOD_S) \
+                   (rates in requests/s). Reports per-request latency percentiles and \
+                   throughput against offered load.")
+  in
+  let model =
+    Arg.(value
+         & opt (enum [ ("pool", `Pool); ("thread-per-connection", `Thread_per_connection) ]) `Pool
+         & info [ "model" ] ~docv:"MODEL"
+             ~doc:"Open-loop server model: $(b,pool) (fixed workers, bounded queue) or \
+                   $(b,thread-per-connection).")
+  in
+  let queue =
+    Arg.(value & opt int 1_024
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Pool model: bounded request-queue capacity; a full queue sheds arrivals.")
+  in
+  let churn =
+    Arg.(value & opt int 64
+         & info [ "churn" ] ~docv:"N"
+             ~doc:"Mean requests per connection lifetime before the connection closes and \
+                   reopens (0 disables churn).")
+  in
+  let mix_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ r; w; u ] -> (
+          match (int_of_string_opt r, int_of_string_opt w, int_of_string_opt u) with
+          | Some r, Some w, Some u when r >= 0 && w >= 0 && u >= 0 && r + w + u = 100 ->
+              Ok (r, w)
+          | _ -> Error (`Msg (Printf.sprintf "expected R:W:U percentages summing to 100, got %S" s)))
+      | _ -> Error (`Msg (Printf.sprintf "expected R:W:U percentages summing to 100, got %S" s))
+    in
+    let print fmt (r, w) = Format.fprintf fmt "%d:%d:%d" r w (100 - r - w) in
+    Arg.conv (parse, print)
+  in
+  let mix =
+    Arg.(value & opt mix_conv (60, 25)
+         & info [ "mix" ] ~docv:"R:W:U"
+             ~doc:"Open-loop request-class mix as read:write:update percentages (sum 100).")
+  in
   let machine_arg4 =
     Arg.(value & opt machine_conv Core.Configs.quad_xeon
          & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc:"Machine preset.")
@@ -326,7 +431,8 @@ let server_cmd =
   Cmd.v
     (Cmd.info "server" ~doc:"Network-server workload (iPlanet-style)")
     Term.(const run $ machine_arg4 $ factory_arg $ seed_arg $ threads_arg 4 $ requests $ latency
-          $ trace_arg $ metrics_arg $ gc_stats_arg $ check_arg $ faults_arg)
+          $ arrivals $ model $ queue $ churn $ mix $ trace_arg $ metrics_arg $ gc_stats_arg
+          $ check_arg $ faults_arg)
 
 (* --- experiment --------------------------------------------------------- *)
 

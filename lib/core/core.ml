@@ -43,6 +43,7 @@ module Bench1 = Mb_workload.Bench1
 module Bench2 = Mb_workload.Bench2
 module Bench3 = Mb_workload.Bench3
 module Server = Mb_workload.Server
+module Arrivals = Mb_workload.Arrivals
 module Latency = Mb_workload.Latency
 module Trace = Mb_workload.Trace
 module Larson = Mb_workload.Larson

@@ -360,6 +360,126 @@ let latency_uptime opts =
       ];
   }
 
+(* The paper's Table 2 collapse, rediscovered as a latency cliff: drive
+   the server open loop at a rising fraction of its measured closed-loop
+   capacity and watch p99 walk off a cliff as each allocator saturates.
+   All five allocators face the *same* offered loads (calibrated once,
+   with ptmalloc), so the sweep is an apples-to-apples race: the
+   allocator that saturates first shows the cliff at a lower load. *)
+let server_knee opts =
+  let machine = Configs.quad_xeon in
+  let threads = 4 in
+  let connections = 128 in
+  (* Capacity calibration: a closed-loop run can never overshoot the
+     server, so its throughput is (a slight underestimate of) the
+     saturation rate. Deterministic, so the derived offered loads are
+     too. *)
+  let calib =
+    Server.run
+      { Server.default with
+        Server.machine;
+        seed = opts.seed;
+        threads;
+        connections;
+        requests_per_thread = pick opts ~full:2_000 ~quick:500;
+      }
+  in
+  let capacity_rps = calib.Server.requests_per_second in
+  let loads = pick opts ~full:[ 0.3; 0.6; 0.9; 1.2; 1.5 ] ~quick:[ 0.4; 0.9; 1.4 ] in
+  let total_requests = pick opts ~full:40_000 ~quick:1_500 in
+  let factories =
+    [ Factory.ptmalloc (); Factory.serial_glibc (); Factory.perthread (); Factory.slab ();
+      Factory.hoard ();
+    ]
+  in
+  let cell factory load =
+    let r =
+      Server.run
+        { Server.default with
+          Server.machine;
+          seed = opts.seed;
+          threads;
+          connections;
+          factory;
+          open_loop =
+            Some
+              { Server.process = Mb_workload.Arrivals.Poisson { rate_rps = capacity_rps *. load };
+                total_requests;
+                model = Server.Thread_pool { queue_capacity = 2_048 };
+                churn_mean_requests = 64;
+                read_pct = 60;
+                write_pct = 25;
+              };
+        }
+    in
+    match r.Server.requests with Some s -> s | None -> assert false
+  in
+  let rows = List.map (fun f -> (f.Factory.label, List.map (cell f) loads)) factories in
+  let title =
+    Printf.sprintf
+      "Server saturation knee: open-loop Poisson sweep at fractions of closed-loop capacity \
+       (%.0f req/s, 4 threads, quad Xeon)"
+      capacity_rps
+  in
+  let tbl =
+    Table.make ~title
+      ~header:
+        [ "allocator"; "load"; "offered rps"; "tput rps"; "drop%"; "p50 us"; "p95 us"; "p99 us" ]
+  in
+  List.iter
+    (fun (label, cells) ->
+      List.iter2
+        (fun load (s : Server.request_stats) ->
+          Table.row tbl
+            [ label;
+              Printf.sprintf "%.1fx" load;
+              Printf.sprintf "%.0f" s.Server.offered_rps;
+              Printf.sprintf "%.0f" s.Server.throughput_rps;
+              Printf.sprintf "%.1f"
+                (100. *. float_of_int s.Server.dropped
+                /. float_of_int (max 1 (s.Server.completed + s.Server.dropped)));
+              Table.cell_f2 (s.Server.p50_ns /. 1e3);
+              Table.cell_f2 (s.Server.p95_ns /. 1e3);
+              Table.cell_f2 (s.Server.p99_ns /. 1e3);
+            ])
+        loads cells)
+    rows;
+  let p99s cells = List.map (fun (s : Server.request_stats) -> s.Server.p99_ns /. 1e3) cells in
+  let first xs = List.hd xs and last xs = List.nth xs (List.length xs - 1) in
+  let cliff_ratio cells =
+    let ps = p99s cells in
+    last ps /. Float.max 1e-9 (first ps)
+  in
+  let cliffs = List.map (fun (label, cells) -> (label, cliff_ratio cells)) rows in
+  let heaviest = List.map (fun (label, cells) -> (label, last cells)) rows in
+  let pt_light = List.hd (List.assoc "ptmalloc" rows) in
+  { Outcome.id = "server-knee";
+    title;
+    text = Table.to_string tbl;
+    series =
+      List.map
+        (fun (label, cells) ->
+          Series.make ~label (List.map2 (fun l p -> (l, p)) loads (p99s cells)))
+        rows;
+    checks =
+      [ Outcome.check "a latency cliff is visible past the knee"
+          (List.exists (fun (_, r) -> r > 4.) cliffs)
+          "p99 growth lightest->heaviest: %s"
+          (String.concat ", " (List.map (fun (l, r) -> Printf.sprintf "%s %.1fx" l r) cliffs));
+        Outcome.check "below the knee the server keeps up with the offered load"
+          (pt_light.Server.throughput_rps > 0.9 *. pt_light.Server.offered_rps
+          && pt_light.Server.dropped = 0)
+          "ptmalloc at %.1fx: %.0f rps served of %.0f offered" (first loads)
+          pt_light.Server.throughput_rps pt_light.Server.offered_rps;
+        Outcome.check "past the knee at least one allocator falls behind the offered load"
+          (List.exists
+             (fun (_, (s : Server.request_stats)) ->
+               s.Server.throughput_rps < 0.95 *. s.Server.offered_rps || s.Server.dropped > 0)
+             heaviest)
+          "heaviest load %.1fx capacity" (last loads);
+      ];
+  }
+
 let trace_replay opts =
   let machine = Configs.quad_xeon in
   let ops = pick opts ~full:30_000 ~quick:6_000 in

@@ -22,6 +22,12 @@ val shootout : Exp_common.opts -> Outcome.t
 val latency_uptime : Exp_common.opts -> Outcome.t
 (** Future work: malloc latency across server uptime windows. *)
 
+val server_knee : Exp_common.opts -> Outcome.t
+(** Open-loop Poisson load sweep over all five allocators at rising
+    fractions of the server's measured closed-loop capacity, reporting
+    p50/p95/p99 and throughput per cell — the paper's Table 2 collapse
+    rediscovered as a latency cliff under realistic traffic. *)
+
 val trace_replay : Exp_common.opts -> Outcome.t
 (** Future work: one recorded allocation trace replayed against every
     allocator. *)

@@ -26,6 +26,7 @@ let extensions =
     ("ablate-atomics", Exp_extra.ablate_atomics);
     ("shootout", Exp_extra.shootout);
     ("latency-uptime", Exp_extra.latency_uptime);
+    ("server-knee", Exp_extra.server_knee);
     ("trace-replay", Exp_extra.trace_replay);
     ("slab", Exp_extra.slab_contention);
     ("ablate-bkl", Exp_extra.ablate_bkl);

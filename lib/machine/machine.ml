@@ -1212,6 +1212,73 @@ module Latch = struct
   let is_set l = l.set
 end
 
+(* --- timed sleep -------------------------------------------------------- *)
+
+(* Block until an absolute simulated time: release the CPU now, get
+   pushed back on the ready queue by a timer event at [t]. The wake is
+   a plain [make_ready], so the sleeper still competes for a CPU like
+   any other ready thread — dispatch latency (up to a quantum under
+   full load) is part of what the caller measures, exactly as a real
+   nanosleep wake rides the run queue. Open-loop traffic generators
+   use this to pace arrivals. *)
+let sleep_until th t =
+  let m = th.tproc.pm in
+  if t > Engine.now m.engine then begin
+    th.state <- Blocked;
+    Engine.set_wait m.engine th.lane ~why:"sleeping" ~waits_on:(-1);
+    Engine.at m.engine t (fun () -> make_ready m th);
+    release_cpu m th;
+    park_for_cpu th
+  end
+
+(* --- wait queues --------------------------------------------------------- *)
+
+(* A bare FIFO wait queue (the condition-variable half of a producer /
+   consumer handoff). Unlike [Latch] it is reusable: threads park with
+   [wait] and are released one at a time by [wake_one] or en masse by
+   [wake_all]. There is no predicate and no associated lock — event
+   executions are atomic between simulated-time operations, so a caller
+   that checks its condition and parks without an intervening
+   time-consuming op cannot miss a wake. Wakers pay [wake_cycles] per
+   thread released, like a mutex handoff does. *)
+module Waitq = struct
+  type machine = t
+
+  type t = { qm : machine; qwhy : string; waiters : thread Queue.t }
+
+  let create qm ?(name = "waitq") () =
+    { qm; qwhy = "waiting on " ^ name; waiters = Queue.create () }
+
+  let wait q th =
+    th.state <- Blocked;
+    Queue.push th q.waiters;
+    Engine.set_wait q.qm.engine th.lane ~why:q.qwhy ~waits_on:(-1);
+    release_cpu q.qm th;
+    park_for_cpu th
+
+  let wake_one q th =
+    match Queue.take_opt q.waiters with
+    | None -> false
+    | Some w ->
+        work_exact_cycles th q.qm.config.wake_cycles;
+        make_ready q.qm w;
+        true
+
+  let wake_all q th =
+    let n = Queue.length q.waiters in
+    if n > 0 then begin
+      (* Charge the whole batch before releasing anyone: the charge can
+         yield (quantum expiry), and a half-woken queue would let a
+         released waiter re-park behind its own wake. *)
+      work_exact_cycles th (q.qm.config.wake_cycles * n);
+      Queue.iter (fun w -> make_ready q.qm w) q.waiters;
+      Queue.clear q.waiters
+    end;
+    n
+
+  let waiting q = Queue.length q.waiters
+end
+
 (* --- mutexes ------------------------------------------------------------ *)
 
 module Mutex = struct

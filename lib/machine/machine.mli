@@ -275,6 +275,45 @@ module Latch : sig
   val is_set : t -> bool
 end
 
+val sleep_until : ctx -> float -> unit
+(** [sleep_until ctx t] blocks the calling thread until absolute
+    simulated time [t] (ns), then re-competes for a CPU like any other
+    ready thread — so the caller observes wake-to-dispatch latency under
+    load, as a real timer sleep does. Returns immediately if [t] is not
+    in the future. The open-loop traffic generators use it to pace
+    arrivals. *)
+
+(** A reusable FIFO wait queue — the condition-variable half of a
+    producer/consumer handoff. Threads park with {!Waitq.wait}; wakers
+    release one ({!Waitq.wake_one}) or all ({!Waitq.wake_all}) and pay
+    {!field-wake_cycles} per thread released. There is no predicate and
+    no lock: event executions are atomic between simulated-time
+    operations, so checking a condition and parking without an
+    intervening time-consuming op cannot miss a wake. *)
+module Waitq : sig
+  type machine := t
+
+  type t
+
+  val create : machine -> ?name:string -> unit -> t
+  (** [name] labels the blocked state in traces ("waiting on [name]"). *)
+
+  val wait : t -> ctx -> unit
+  (** Park until released by a waker. Unconditional — callers check
+      their own predicate first. *)
+
+  val wake_one : t -> ctx -> bool
+  (** Release the longest-parked waiter, charging the caller
+      {!field-wake_cycles}. [false] if nobody was waiting (free). *)
+
+  val wake_all : t -> ctx -> int
+  (** Release every current waiter (charging {!field-wake_cycles} each);
+      returns how many. *)
+
+  val waiting : t -> int
+  (** Number of currently parked threads. *)
+end
+
 module Mutex : sig
   type machine := t
 

@@ -4,29 +4,75 @@ type t = {
   width : float;
   counts : int array;
   mutable total : int;
+  mutable underflow : int;
+  mutable overflow : int;
 }
 
 let create ~lo ~hi ~bins =
   if lo >= hi then invalid_arg "Histogram.create: lo >= hi";
   if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
-  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; total = 0 }
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0;
+    total = 0;
+    underflow = 0;
+    overflow = 0;
+  }
 
+(* Bin index for an in-range sample. Float division can land exactly on
+   [bins] when [x] is a hair under [hi]; fold that edge back into the
+   last bin. Out-of-range samples never reach here — [add] diverts them
+   to the underflow/overflow counters. *)
 let bin_of t x =
   let i = int_of_float ((x -. t.lo) /. t.width) in
   let last = Array.length t.counts - 1 in
-  if i < 0 then 0 else if i > last then last else i
+  if i > last then last else i
 
 let add t x =
-  t.counts.(bin_of t x) <- t.counts.(bin_of t x) + 1;
+  if Float.is_nan x then invalid_arg "Histogram.add: NaN sample";
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = bin_of t x in
+    t.counts.(i) <- t.counts.(i) + 1
+  end;
   t.total <- t.total + 1
 
 let count t = t.total
+
+let underflow t = t.underflow
+
+let overflow t = t.overflow
+
+let binned t = t.total - t.underflow - t.overflow
 
 let bin_count t i = t.counts.(i)
 
 let bin_bounds t i =
   let lo = t.lo +. (float_of_int i *. t.width) in
   (lo, lo +. t.width)
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty histogram";
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p outside [0, 100]";
+  (* Conservative rank: the upper of the two samples a linear
+     interpolation would blend, so a tail percentile never under-reads. *)
+  let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int (t.total - 1))) in
+  if rank < t.underflow then
+    invalid_arg "Histogram.percentile: rank falls in the underflow region";
+  if rank >= t.total - t.overflow then
+    invalid_arg "Histogram.percentile: rank falls in the overflow region";
+  let target = rank - t.underflow in
+  let rec walk i acc =
+    let acc' = acc + t.counts.(i) in
+    if acc' > target then
+      let lo, _ = bin_bounds t i in
+      lo +. (t.width *. ((float_of_int (target - acc) +. 0.5) /. float_of_int t.counts.(i)))
+    else walk (i + 1) acc'
+  in
+  walk 0 0
 
 let modes t =
   let n = Array.length t.counts in
@@ -41,6 +87,7 @@ let modes t =
 
 let pp fmt t =
   let maxc = Array.fold_left max 1 t.counts in
+  if t.underflow > 0 then Format.fprintf fmt "(-inf, %8.3f) %4d underflow@." t.lo t.underflow;
   Array.iteri
     (fun i c ->
       if c > 0 then begin
@@ -48,4 +95,5 @@ let pp fmt t =
         let bar = String.make (max 1 (c * 40 / maxc)) '#' in
         Format.fprintf fmt "[%8.3f, %8.3f) %4d %s@." lo hi c bar
       end)
-    t.counts
+    t.counts;
+  if t.overflow > 0 then Format.fprintf fmt "[%8.3f,     +inf) %4d overflow@." t.hi t.overflow

@@ -16,6 +16,31 @@ let server_size_dist rng =
   else if p < 99 then 128 + Rng.int rng (2048 - 128)
   else 8192
 
+type req_class = Read | Write | Update
+
+let class_label = function Read -> "read" | Write -> "write" | Update -> "update"
+
+(* Writes carry payloads: mostly medium buffers, a tail of full 8 KB
+   blocks — the large end of the paper's size observation. *)
+let write_size_dist rng =
+  let p = Rng.int rng 100 in
+  if p < 40 then 128 + Rng.int rng (1024 - 128)
+  else if p < 85 then 1024 + Rng.int rng (4096 - 1024)
+  else 8192
+
+(* Updates mutate existing per-connection state in place: the 40-byte
+   state record size dominates, plus small scratch strings. *)
+let update_size_dist rng =
+  let p = Rng.int rng 100 in
+  if p < 60 then 40
+  else if p < 95 then 16 + Rng.int rng 49
+  else 256 + Rng.int rng 256
+
+let class_size_dist = function
+  | Read -> server_size_dist
+  | Write -> write_size_dist
+  | Update -> update_size_dist
+
 let generate ~rng ~ops ~slots ?(size_of = server_size_dist) () =
   if ops <= 0 || slots <= 0 then invalid_arg "Trace.generate: bad params";
   let full = Array.make slots false in

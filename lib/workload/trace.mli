@@ -19,6 +19,24 @@ val server_size_dist : Mb_prng.Rng.t -> int
     near 40 bytes: 70% exactly 40 B, 20% small strings (16–128 B), 9%
     medium (128–2 KB), 1% 8 KB buffers. *)
 
+type req_class = Read | Write | Update
+(** Mixed request classes for the open-loop server: reads allocate
+    scratch buffers ({!server_size_dist}), writes carry larger payloads
+    ({!write_size_dist}) with the realloc response-growth pattern, and
+    updates swap the per-connection state object under the table lock —
+    the foreign-free path ({!update_size_dist}). *)
+
+val class_label : req_class -> string
+
+val write_size_dist : Mb_prng.Rng.t -> int
+(** Write-payload sizes: 40% 128 B–1 KB, 45% 1–4 KB, 15% 8 KB. *)
+
+val update_size_dist : Mb_prng.Rng.t -> int
+(** Update scratch sizes: 60% exactly 40 B, 35% 16–64 B, 5% 256–512 B. *)
+
+val class_size_dist : req_class -> Mb_prng.Rng.t -> int
+(** The size distribution a class draws its work buffers from. *)
+
 val generate :
   rng:Mb_prng.Rng.t ->
   ops:int ->

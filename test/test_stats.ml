@@ -35,6 +35,23 @@ let test_percentile () =
   Alcotest.(check feq) "p100 is max" 40. (Summary.percentile xs 100.);
   Alcotest.(check feq) "p50 interpolates" 25. (Summary.percentile xs 50.)
 
+let test_percentile_edges () =
+  (* n = 1: every percentile is the lone sample. *)
+  let one = [| 7.5 |] in
+  Alcotest.(check feq) "n=1 p0" 7.5 (Summary.percentile one 0.);
+  Alcotest.(check feq) "n=1 p50" 7.5 (Summary.percentile one 50.);
+  Alcotest.(check feq) "n=1 p100" 7.5 (Summary.percentile one 100.);
+  (* n = 2: interior percentiles interpolate on the (n-1) rank scale. *)
+  let two = [| 10.; 30. |] in
+  Alcotest.(check feq) "n=2 p25" 15. (Summary.percentile two 25.);
+  Alcotest.(check feq) "n=2 p75" 25. (Summary.percentile two 75.);
+  (* Ties: interpolation between equal neighbours stays put. *)
+  let ties = [| 5.; 5.; 5.; 9. |] in
+  Alcotest.(check feq) "ties p50" 5. (Summary.percentile ties 50.);
+  Alcotest.(check feq) "all-equal p99" 4. (Summary.percentile [| 4.; 4.; 4. |] 99.);
+  (* Unsorted input is sorted internally. *)
+  Alcotest.(check feq) "unsorted p100" 40. (Summary.percentile [| 40.; 10.; 20. |] 100.)
+
 let test_spread () =
   let s = Summary.of_list [ 10.; 12. ] in
   Alcotest.(check feq) "(max-min)/min" 0.2 (Summary.spread s)
@@ -73,12 +90,42 @@ let test_histogram_counts () =
   Alcotest.(check int) "bin1" 2 (Histogram.bin_count h 1);
   Alcotest.(check int) "bin4" 1 (Histogram.bin_count h 4)
 
-let test_histogram_clamps () =
+(* Out-of-range samples used to be clamped into the edge bins (and NaN
+   landed in bin 0), silently distorting tail percentiles; they are now
+   tracked separately. *)
+let test_histogram_out_of_range () =
   let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
   Histogram.add h (-3.);
   Histogram.add h 42.;
-  Alcotest.(check int) "low clamped" 1 (Histogram.bin_count h 0);
-  Alcotest.(check int) "high clamped" 1 (Histogram.bin_count h 4)
+  Histogram.add h 10.;  (* hi itself is outside the half-open range *)
+  Histogram.add h 5.;
+  Alcotest.(check int) "bin0 untouched" 0 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin4 untouched" 0 (Histogram.bin_count h 4);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Histogram.overflow h);
+  Alcotest.(check int) "count includes out-of-range" 4 (Histogram.count h);
+  Alcotest.(check int) "binned excludes them" 1 (Histogram.binned h)
+
+let test_histogram_rejects_nan () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  Alcotest.check_raises "NaN raises" (Invalid_argument "Histogram.add: NaN sample") (fun () ->
+      Histogram.add h Float.nan);
+  Alcotest.(check int) "nothing recorded" 0 (Histogram.count h)
+
+let test_histogram_percentile () =
+  let h = Histogram.create ~lo:0. ~hi:100. ~bins:100 in
+  for i = 0 to 99 do
+    Histogram.add h (float_of_int i +. 0.5)
+  done;
+  (* 1-wide bins, one sample each: the estimate lands mid-bin. *)
+  Alcotest.(check (Alcotest.float 1.0)) "p50 mid" 50. (Histogram.percentile h 50.);
+  Alcotest.(check (Alcotest.float 1.0)) "p99 tail" 99. (Histogram.percentile h 99.);
+  (* A rank that falls among overflow samples must refuse, not lie. *)
+  Histogram.add h 1e9;
+  Histogram.add h 1e9;
+  Alcotest.check_raises "overflow rank raises"
+    (Invalid_argument "Histogram.percentile: rank falls in the overflow region") (fun () ->
+      ignore (Histogram.percentile h 99.9))
 
 let test_histogram_modes () =
   let h = Histogram.create ~lo:0. ~hi:10. ~bins:10 in
@@ -143,6 +190,7 @@ let suite =
     Alcotest.test_case "summary empty" `Quick test_summary_empty;
     Alcotest.test_case "median" `Quick test_median;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
     Alcotest.test_case "spread" `Quick test_spread;
     Alcotest.test_case "coefficient of variation" `Quick test_cov;
     Alcotest.test_case "regression exact" `Quick test_regression_exact;
@@ -150,7 +198,9 @@ let suite =
     Alcotest.test_case "regression degenerate" `Quick test_regression_degenerate;
     Alcotest.test_case "regression r2 with noise" `Quick test_regression_r2_noise;
     Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
-    Alcotest.test_case "histogram clamps" `Quick test_histogram_clamps;
+    Alcotest.test_case "histogram out-of-range" `Quick test_histogram_out_of_range;
+    Alcotest.test_case "histogram rejects NaN" `Quick test_histogram_rejects_nan;
+    Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
     Alcotest.test_case "histogram modes" `Quick test_histogram_modes;
     Alcotest.test_case "histogram validation" `Quick test_histogram_bounds_validation;
     Alcotest.test_case "series accessors" `Quick test_series_accessors;

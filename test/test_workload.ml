@@ -158,13 +158,93 @@ let test_latency_probe_counts () =
            alloc.Core.Allocator.free ctx u
          done));
   M.run m;
-  Alcotest.(check int) "one sample per malloc" 50 (Core.Latency.count probe);
+  Alcotest.(check int) "malloc and free both sampled" 100 (Core.Latency.count probe);
+  Alcotest.(check int) "mallocs tagged" 50 (Core.Latency.count_by probe Core.Latency.Malloc);
+  Alcotest.(check int) "frees tagged" 50 (Core.Latency.count_by probe Core.Latency.Free);
   Alcotest.(check bool) "durations positive" true
     (List.for_all (fun (_, d) -> d > 0.) (Core.Latency.samples probe));
   let windows = Core.Latency.windows probe ~window_ns:1e6 in
   Alcotest.(check bool) "windows nonempty" true (windows <> []);
   let d = Core.Latency.drift probe ~window_ns:1e6 in
   Alcotest.(check bool) "drift finite" true (d > 0.)
+
+(* Regression for the probe only seeing malloc: calloc and realloc are
+   timed end to end as single tagged samples, with the inner malloc/free
+   they perform suppressed — not double-counted, not mis-tagged. *)
+let test_latency_probe_tags_derived_ops () =
+  let m = M.create ~seed:2 { M.default_config with M.cpus = 1 } in
+  let p = M.create_proc m () in
+  let inner = (Core.Factory.ptmalloc ()).Core.Factory.create p in
+  let probe, alloc = Core.Latency.wrap inner in
+  ignore
+    (M.spawn p (fun ctx ->
+         let a = Core.Latency.calloc probe alloc ctx ~count:4 ~size:32 in
+         let a = Core.Latency.realloc probe alloc ctx a 512 in
+         alloc.Core.Allocator.free ctx a));
+  M.run m;
+  Alcotest.(check int) "one calloc sample" 1 (Core.Latency.count_by probe Core.Latency.Calloc);
+  Alcotest.(check int) "one realloc sample" 1 (Core.Latency.count_by probe Core.Latency.Realloc);
+  Alcotest.(check int) "inner malloc suppressed" 0 (Core.Latency.count_by probe Core.Latency.Malloc);
+  (* the one visible free is the caller's own; realloc's internal free
+     (if the block moved) must not be recorded *)
+  Alcotest.(check int) "only the caller's free" 1 (Core.Latency.count_by probe Core.Latency.Free);
+  let calloc_ns = List.map snd (Core.Latency.samples_by probe Core.Latency.Calloc) in
+  Alcotest.(check bool) "calloc includes zeroing cost" true (List.for_all (fun d -> d > 0.) calloc_ns)
+
+(* --- arrivals ------------------------------------------------------------ *)
+
+let arrival_times process ~seed ~n =
+  let gen = Core.Arrivals.create ~rng:(Core.Rng.create ~seed) process in
+  List.init n (fun _ -> Core.Arrivals.next gen)
+
+let test_arrivals_deterministic () =
+  List.iter
+    (fun process ->
+      let a = arrival_times process ~seed:42 ~n:500 in
+      let b = arrival_times process ~seed:42 ~n:500 in
+      Alcotest.(check (list (float 0.))) "same seed, same stream" a b;
+      let c = arrival_times process ~seed:43 ~n:500 in
+      Alcotest.(check bool) "different seed, different stream" true (a <> c);
+      Alcotest.(check bool) "strictly increasing" true
+        (fst (List.fold_left (fun (ok, prev) t -> (ok && t > prev, t)) (true, -1.) a)))
+    [ Core.Arrivals.Poisson { rate_rps = 50_000. };
+      Core.Arrivals.Bursty { base_rps = 10_000.; burst_rps = 100_000.; on_s = 0.001; off_s = 0.004 };
+      Core.Arrivals.Diurnal { low_rps = 10_000.; high_rps = 80_000.; period_s = 0.01 };
+    ]
+
+let test_arrivals_mean_rate () =
+  (* Long-run empirical rate n / t_last within 5% of the configured
+     mean for every process shape. *)
+  List.iter
+    (fun process ->
+      let n = 40_000 in
+      let times = arrival_times process ~seed:7 ~n in
+      let t_last = List.nth times (n - 1) in
+      let measured = float_of_int n /. (t_last /. 1e9) in
+      let expected = Core.Arrivals.mean_rps process in
+      let err = Float.abs (measured -. expected) /. expected in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: measured %.0f within 5%% of %.0f"
+           (Core.Arrivals.to_string process) measured expected)
+        true (err < 0.05))
+    [ Core.Arrivals.Poisson { rate_rps = 50_000. };
+      Core.Arrivals.Bursty { base_rps = 20_000.; burst_rps = 80_000.; on_s = 0.002; off_s = 0.002 };
+      Core.Arrivals.Diurnal { low_rps = 20_000.; high_rps = 60_000.; period_s = 0.02 };
+    ]
+
+let test_arrivals_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      let p = Core.Arrivals.of_string s in
+      Alcotest.(check string) "roundtrip" s (Core.Arrivals.to_string p))
+    [ "poisson:50000"; "bursty:10000:100000:0.001:0.004"; "diurnal:10000:80000:0.01" ];
+  Alcotest.(check bool) "scale multiplies rate" true
+    (Core.Arrivals.mean_rps
+       (Core.Arrivals.scale (Core.Arrivals.Poisson { rate_rps = 100. }) 2.5)
+    = 250.);
+  (match Core.Arrivals.of_string "nonesuch:1" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad spec accepted")
 
 (* --- server -------------------------------------------------------------- *)
 
@@ -182,8 +262,79 @@ let test_server_runs_and_drains () =
   Alcotest.(check int) "three workers" 3 (List.length r.Core.Server.per_thread_s);
   Alcotest.(check bool) "cross-thread frees happen" true (r.Core.Server.foreign_frees > 0);
   match r.Core.Server.latency with
-  | Some probe -> Alcotest.(check bool) "latency measured" true (probe.Core.Server.malloc_mean_ns > 0.)
+  | Some probe ->
+      Alcotest.(check bool) "latency measured" true (probe.Core.Server.malloc_mean_ns > 0.);
+      Alcotest.(check bool) "per-op stats include the derived ops" true
+        (List.exists (fun o -> o.Core.Server.op = "calloc") probe.Core.Server.op_stats
+        && List.exists (fun o -> o.Core.Server.op = "free") probe.Core.Server.op_stats)
   | None -> Alcotest.fail "latency probe requested"
+
+(* --- open-loop server ----------------------------------------------------- *)
+
+let small_open ?(rate = 150_000.) ?(model = Core.Server.Thread_pool { queue_capacity = 256 }) () =
+  { Core.Server.default with
+    Core.Server.threads = 3;
+    connections = 32;
+    open_loop =
+      Some
+        { Core.Server.default_open with
+          Core.Server.process = Core.Arrivals.Poisson { rate_rps = rate };
+          total_requests = 1_200;
+          model;
+          churn_mean_requests = 20;
+        };
+  }
+
+let request_stats r =
+  match r.Core.Server.requests with
+  | Some s -> s
+  | None -> Alcotest.fail "open-loop run must report request stats"
+
+let test_server_open_loop_pool () =
+  let r = Core.Server.run (small_open ()) in
+  let s = request_stats r in
+  Alcotest.(check int) "all arrivals accounted" 1_200 (s.Core.Server.completed + s.Core.Server.dropped);
+  Alcotest.(check bool) "some completions" true (s.Core.Server.completed > 0);
+  Alcotest.(check bool) "throughput positive" true (s.Core.Server.throughput_rps > 0.);
+  Alcotest.(check bool) "offered rate near configured" true
+    (Float.abs (s.Core.Server.offered_rps -. 150_000.) /. 150_000. < 0.25);
+  Alcotest.(check bool) "percentiles ordered" true
+    (s.Core.Server.p50_ns <= s.Core.Server.p95_ns
+    && s.Core.Server.p95_ns <= s.Core.Server.p99_ns
+    && s.Core.Server.p99_ns <= s.Core.Server.max_ns);
+  Alcotest.(check bool) "connections churn" true (s.Core.Server.churned > 0);
+  Alcotest.(check int) "histogram holds every completion" s.Core.Server.completed
+    (Core.Histogram.count s.Core.Server.hist);
+  Alcotest.(check int) "class counts sum to completions" s.Core.Server.completed
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Core.Server.by_class);
+  Alcotest.(check bool) "cross-thread frees happen" true (r.Core.Server.foreign_frees > 0)
+
+let test_server_open_loop_deterministic () =
+  let a = Core.Server.run (small_open ()) in
+  let b = Core.Server.run (small_open ()) in
+  let sa = request_stats a and sb = request_stats b in
+  Alcotest.(check int) "same completions" sa.Core.Server.completed sb.Core.Server.completed;
+  Alcotest.(check (float 0.)) "same p99" sa.Core.Server.p99_ns sb.Core.Server.p99_ns;
+  Alcotest.(check (float 0.)) "same makespan" a.Core.Server.elapsed_s b.Core.Server.elapsed_s
+
+let test_server_thread_per_connection () =
+  let r = Core.Server.run (small_open ~model:Core.Server.Thread_per_connection ()) in
+  let s = request_stats r in
+  Alcotest.(check int) "nothing dropped without a bounded queue" 0 s.Core.Server.dropped;
+  Alcotest.(check int) "all arrivals served" 1_200 s.Core.Server.completed;
+  Alcotest.(check bool) "churn replaces threads" true (s.Core.Server.churned > 0);
+  Alcotest.(check bool) "p99 positive" true (s.Core.Server.p99_ns > 0.)
+
+let test_server_overload_raises_tail () =
+  (* Same workload far below and far beyond capacity: the open loop
+     must show queueing delay — the closed loop never could. *)
+  let light = request_stats (Core.Server.run (small_open ~rate:30_000. ())) in
+  let heavy = request_stats (Core.Server.run (small_open ~rate:2_000_000. ())) in
+  Alcotest.(check bool)
+    (Printf.sprintf "overloaded p99 (%.0f ns) well above light-load p99 (%.0f ns)"
+       heavy.Core.Server.p99_ns light.Core.Server.p99_ns)
+    true
+    (heavy.Core.Server.p99_ns > 3. *. light.Core.Server.p99_ns)
 
 (* --- Larson -------------------------------------------------------------- *)
 
@@ -248,7 +399,15 @@ let suite =
     QCheck_alcotest.to_alcotest prop_trace_always_valid;
     Alcotest.test_case "trace replay drains" `Quick test_trace_replay_drains;
     Alcotest.test_case "latency probe" `Quick test_latency_probe_counts;
+    Alcotest.test_case "latency probe derived ops" `Quick test_latency_probe_tags_derived_ops;
+    Alcotest.test_case "arrivals deterministic" `Quick test_arrivals_deterministic;
+    Alcotest.test_case "arrivals mean rate" `Quick test_arrivals_mean_rate;
+    Alcotest.test_case "arrivals parse roundtrip" `Quick test_arrivals_parse_roundtrip;
     Alcotest.test_case "server workload" `Quick test_server_runs_and_drains;
+    Alcotest.test_case "server open loop (pool)" `Quick test_server_open_loop_pool;
+    Alcotest.test_case "server open loop deterministic" `Quick test_server_open_loop_deterministic;
+    Alcotest.test_case "server thread-per-connection" `Quick test_server_thread_per_connection;
+    Alcotest.test_case "server overload raises tail" `Quick test_server_overload_raises_tail;
     Alcotest.test_case "larson runs and drains" `Quick test_larson_runs_and_drains;
     Alcotest.test_case "larson deterministic" `Quick test_larson_deterministic;
     Alcotest.test_case "larson size range" `Quick test_larson_size_range_respected;
