@@ -3,231 +3,8 @@
 
      compare.exe BASELINE.json FRESH.json [THRESHOLD]
 
-   Absolute ns/run numbers are not comparable across hosts, so the gate
-   works on per-kernel ratios fresh/baseline normalized by the *median*
-   ratio: the median cancels the overall host-speed factor (and most of
-   a shared noise term), leaving each kernel's speed relative to the
-   rest of the fleet. A kernel whose normalized ratio exceeds THRESHOLD
-   (default 1.10, i.e. >10% slower than the fleet moved) is a
-   regression and the exit status is 1. A kernel present in the
-   baseline but missing from the fresh run also fails — a silently
-   dropped benchmark must not pass the gate. Kernels only in the fresh
-   file are listed but don't fail (new benchmarks land before their
-   baseline does). Exit 2 on usage or parse errors.
+   The logic lives in Mb_suite.Compare so the test suite can exercise
+   it against synthetic files; this executable is the CI-facing shell
+   (exit 0 ok, 1 regressions/missing kernels, 2 usage/parse errors). *)
 
-   Two further checks ride along:
-
-   - host provenance (schema 3): when both files carry a ["host"]
-     block and it differs, a warning is printed — ratios against a
-     baseline from another machine are still median-normalized, but
-     the reader should know what they're looking at. Schema-2 files
-     (no host block) compare silently.
-   - allocation-rate gate: a kernel whose fresh
-     [kernel_gc.minor_words_per_run] exceeds the baseline's by more
-     than 25% fails, threshold-independent — minor words per run are
-     host-independent, so no normalization applies.
-
-   The parser is deliberately minimal: it reads exactly the objects
-   the bench harness writes (bench/main.ml), not general JSON. *)
-
-let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
-
-let read_file path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | s -> s
-  | exception Sys_error e -> die "compare: cannot read %s: %s" path e
-
-(* Extract the flat  "kernels_ns_per_run": { "k": 1.5, ... }  object. *)
-let kernels_of_json path =
-  let s = read_file path in
-  let field = "\"kernels_ns_per_run\"" in
-  let rec find i =
-    if i + String.length field > String.length s then
-      die "compare: %s: no kernels_ns_per_run field" path
-    else if String.sub s i (String.length field) = field then i
-    else find (i + 1)
-  in
-  let start = find 0 in
-  let lbrace =
-    match String.index_from_opt s start '{' with
-    | Some i -> i
-    | None -> die "compare: %s: malformed kernels_ns_per_run" path
-  in
-  let rbrace =
-    match String.index_from_opt s lbrace '}' with
-    | Some i -> i
-    | None -> die "compare: %s: unterminated kernels_ns_per_run" path
-  in
-  let body = String.sub s (lbrace + 1) (rbrace - lbrace - 1) in
-  String.split_on_char ',' body
-  |> List.filter_map (fun entry ->
-         match String.split_on_char ':' (String.trim entry) with
-         | [ name; value ] -> (
-             let name = String.trim name in
-             let name =
-               if String.length name >= 2 && name.[0] = '"' then
-                 String.sub name 1 (String.length name - 2)
-               else die "compare: %s: unquoted kernel name %S" path name
-             in
-             match float_of_string_opt (String.trim value) with
-             | Some v -> Some (name, v)
-             | None -> die "compare: %s: bad number for %s" path name)
-         | [] | [ _ ] | _ :: _ :: _ ->
-             if String.trim entry = "" then None
-             else die "compare: %s: malformed entry %S" path entry)
-
-(* The balanced {...} body following ["field":] in [s]; None if the
-   field is absent. Brace-counting is as naive as the rest of the
-   parser — fine for the harness's output, where no string value
-   contains a brace. *)
-let object_of s field =
-  let needle = "\"" ^ field ^ "\"" in
-  let n = String.length s and nn = String.length needle in
-  let rec find i =
-    if i + nn > n then None
-    else if String.sub s i nn = needle then Some (i + nn)
-    else find (i + 1)
-  in
-  match Option.bind (find 0) (fun j -> String.index_from_opt s j '{') with
-  | None -> None
-  | Some lbrace ->
-      let depth = ref 0 and stop = ref (-1) and i = ref lbrace in
-      while !stop < 0 && !i < n do
-        (match s.[!i] with
-        | '{' -> incr depth
-        | '}' ->
-            decr depth;
-            if !depth = 0 then stop := !i
-        | _ -> ());
-        incr i
-      done;
-      if !stop < 0 then None else Some (String.sub s (lbrace + 1) (!stop - lbrace - 1))
-
-(* "host": {"cores": 4, "cpu_model": "...", "domains": 1} — rendered
-   back to a canonical one-line string for display and comparison.
-   None for schema-2 files. *)
-let host_of_json path =
-  let s = read_file path in
-  Option.map
-    (fun body -> "{" ^ String.trim body ^ "}")
-    (object_of s "host")
-
-(* "kernel_gc": { "name": {"minor_words_per_run": X, ...}, ... } ->
-   [(name, minor_words_per_run)]. Empty for files without the block. *)
-let gc_minor_of_json path =
-  let s = read_file path in
-  match object_of s "kernel_gc" with
-  | None -> []
-  | Some body ->
-      let n = String.length body in
-      let out = ref [] in
-      let i = ref 0 in
-      (try
-         while true do
-           let q1 = String.index_from body !i '"' in
-           let q2 = String.index_from body (q1 + 1) '"' in
-           let name = String.sub body (q1 + 1) (q2 - q1 - 1) in
-           let lb = String.index_from body q2 '{' in
-           let rb = String.index_from body lb '}' in
-           let entry = String.sub body lb (rb - lb + 1) in
-           let key = "\"minor_words_per_run\":" in
-           (let kn = String.length key in
-            let rec find j =
-              if j + kn > String.length entry then ()
-              else if String.sub entry j kn = key then begin
-                let stop = ref (j + kn) in
-                while
-                  !stop < String.length entry
-                  && (match entry.[!stop] with
-                     | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' | ' ' -> true
-                     | _ -> false)
-                do
-                  incr stop
-                done;
-                match float_of_string_opt (String.trim (String.sub entry (j + kn) (!stop - j - kn))) with
-                | Some v -> out := (name, v) :: !out
-                | None -> die "compare: %s: bad minor_words_per_run for %s" path name
-              end
-              else find (j + 1)
-            in
-            find 0);
-           i := rb + 1;
-           if !i >= n then raise Exit
-         done
-       with Not_found | Exit -> ());
-      List.rev !out
-
-let median xs =
-  match List.sort compare xs with
-  | [] -> die "compare: no kernels in common"
-  | sorted ->
-      let n = List.length sorted in
-      if n mod 2 = 1 then List.nth sorted (n / 2)
-      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
-
-let () =
-  let base_path, fresh_path, threshold =
-    match Array.to_list Sys.argv with
-    | [ _; b; f ] -> (b, f, 1.10)
-    | [ _; b; f; t ] -> (
-        match float_of_string_opt t with
-        | Some t when t > 1.0 -> (b, f, t)
-        | _ -> die "compare: threshold must be a float > 1.0")
-    | _ -> die "usage: compare BASELINE.json FRESH.json [THRESHOLD]"
-  in
-  let base = kernels_of_json base_path in
-  let fresh = kernels_of_json fresh_path in
-  (match (host_of_json base_path, host_of_json fresh_path) with
-  | Some b, Some f when b <> f ->
-      Printf.printf "compare: WARNING: host mismatch\n  baseline %s\n  fresh    %s\n" b f
-  | _ -> ());
-  let missing =
-    List.filter (fun (k, _) -> not (List.mem_assoc k fresh)) base |> List.map fst
-  in
-  let added =
-    List.filter (fun (k, _) -> not (List.mem_assoc k base)) fresh |> List.map fst
-  in
-  let common =
-    List.filter_map
-      (fun (k, b) ->
-        match List.assoc_opt k fresh with
-        | Some f when b > 0. -> Some (k, b, f, f /. b)
-        | _ -> None)
-      base
-    |> List.sort compare
-  in
-  let m = median (List.map (fun (_, _, _, r) -> r) common) in
-  Printf.printf "compare: %d kernels, host factor (median ratio) %.3f, threshold %.2f\n"
-    (List.length common) m threshold;
-  let regressions = ref [] in
-  List.iter
-    (fun (k, b, f, r) ->
-      let norm = r /. m in
-      let flag = if norm > threshold then (regressions := k :: !regressions; "  <-- REGRESSION") else "" in
-      Printf.printf "  %-16s %14.1f -> %14.1f ns/run  ratio %.3f  normalized %.3f%s\n"
-        k b f r norm flag)
-    common;
-  List.iter (Printf.printf "  %-16s only in fresh run (no baseline yet)\n") added;
-  List.iter (Printf.printf "  %-16s MISSING from fresh run\n") missing;
-  let gc_threshold = 1.25 in
-  let gc_regressions = ref [] in
-  let base_gc = gc_minor_of_json base_path and fresh_gc = gc_minor_of_json fresh_path in
-  List.iter
-    (fun (k, b) ->
-      match List.assoc_opt k fresh_gc with
-      | Some f when b > 0. ->
-          let r = f /. b in
-          if r > gc_threshold then begin
-            gc_regressions := k :: !gc_regressions;
-            Printf.printf
-              "  %-16s minor words %.0f -> %.0f per run  ratio %.3f  <-- GC REGRESSION\n"
-              k b f r
-          end
-      | _ -> ())
-    base_gc;
-  if missing <> [] || !regressions <> [] || !gc_regressions <> [] then begin
-    Printf.printf "compare: FAIL (%d regression(s), %d GC regression(s), %d missing)\n"
-      (List.length !regressions) (List.length !gc_regressions) (List.length missing);
-    exit 1
-  end
-  else print_endline "compare: OK"
+let () = Stdlib.exit (Mb_suite.Compare.main (Array.to_list Sys.argv))

@@ -6,6 +6,9 @@
      bench3      the false-sharing microbenchmark
      server      the network-server workload
      experiment  regenerate a paper table/figure (or all of them)
+     suite       run a declarative benchmark suite, append a session
+     report      cross-session trend tables from the history file
+     gate        trend-aware regression gate over the history file
      list        enumerate machines, allocators and experiments *)
 
 open Cmdliner
@@ -45,6 +48,20 @@ let factory_arg =
        & info [ "a"; "allocator" ] ~docv:"ALLOC" ~doc:"Allocator (see $(b,list)).")
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let jobs_arg =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some pos_int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Run on a pool of $(docv) domains (default: $(b,MALLOC_REPRO_JOBS) or all \
+                 cores). Output is identical for any width.")
 
 let threads_arg default =
   Arg.(value & opt int default & info [ "t"; "threads" ] ~doc:"Worker thread count.")
@@ -468,25 +485,143 @@ let experiment_cmd =
   let csv_dir =
     Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc:"Also write series as CSV files.")
   in
-  let jobs =
-    let pos_int =
-      let parse s =
-        match int_of_string_opt s with
-        | Some n when n >= 1 -> Ok n
-        | Some _ | None -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
-      in
-      Arg.conv (parse, Format.pp_print_int)
-    in
-    Arg.(value & opt (some pos_int) None
-         & info [ "j"; "jobs" ] ~docv:"N"
-             ~doc:"Run experiments on a pool of $(docv) domains (default: \
-                   $(b,MALLOC_REPRO_JOBS) or all cores). Output is identical for any \
-                   width.")
-  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
-    Term.(const run $ ids $ quick $ seed_arg $ csv_dir $ jobs $ trace_arg $ metrics_arg $ gc_stats_arg
+    Term.(const run $ ids $ quick $ seed_arg $ csv_dir $ jobs_arg $ trace_arg $ metrics_arg $ gc_stats_arg
           $ check_arg $ faults_arg)
+
+(* --- suite / report / gate ----------------------------------------------- *)
+
+let history_arg =
+  Arg.(value & opt string "BENCH_history.json"
+       & info [ "history" ] ~docv:"FILE"
+           ~doc:"Session history file. $(b,suite) appends to it; $(b,report) and \
+                 $(b,gate) read it.")
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; Stdlib.exit 2) fmt
+
+let load_history path =
+  match Core.Suite.History.load path with Ok h -> h | Error e -> die "%s" e
+
+let suite_cmd =
+  let run file history jobs dry_run no_history =
+    let module Spec = Core.Suite.Spec in
+    let module History = Core.Suite.History in
+    let text =
+      try In_channel.with_open_text file In_channel.input_all
+      with Sys_error e -> die "suite: %s" e
+    in
+    let spec = match Spec.of_string text with Ok s -> s | Error e -> die "suite %s: %s" file e in
+    let registry = Core.Experiments.suite_registry in
+    if dry_run then begin
+      match Spec.expand spec ~exp_ids:registry.Core.Suite.Runner.exp_ids with
+      | Error e -> die "%s" e
+      | Ok cells ->
+          List.iter (fun (c : Spec.cell) -> print_endline c.Spec.key) cells;
+          Printf.printf "%d cell(s)\n" (List.length cells)
+    end
+    else begin
+      let id = History.generate_id () in
+      let time_s = Unix.gettimeofday () in
+      match Core.Suite.Runner.run ?jobs ~registry spec with
+      | Error e -> die "%s" e
+      | Ok data ->
+          let mode = match spec.Spec.mode with `Quick -> "quick" | `Full -> "full" in
+          let host = History.current_host () in
+          let cells = List.map (fun ((c : Spec.cell), d) -> (c.Spec.key, d)) data in
+          Printf.printf "== session %s ==\n" id;
+          Printf.printf "suite %s (%s, seed %d) on %s\n" spec.Spec.name mode spec.Spec.seed
+            (History.host_to_string host);
+          List.iter
+            (fun (key, (d : History.cell_data)) ->
+              Printf.printf "%-44s %12.0f ns/run %14.0f minor w/run  %s\n" key
+                d.History.ns_per_run d.History.minor_words_per_run
+                (if d.History.ok then "ok" else "FAIL"))
+            cells;
+          let session =
+            { History.id; time_s; suite = spec.Spec.name; mode; seed = spec.Spec.seed; host; cells }
+          in
+          if not no_history then begin
+            match History.append history session with
+            | Ok h ->
+                Printf.printf "history: %s now holds %d session(s)\n" history
+                  (List.length h.History.sessions)
+            | Error e -> die "history: %s" e
+          end;
+          if List.exists (fun (_, (d : History.cell_data)) -> not d.History.ok) cells then
+            Stdlib.exit 1
+    end
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SUITE" ~doc:"Suite spec file.")
+  in
+  let dry_run =
+    Arg.(value & flag
+         & info [ "dry-run" ] ~doc:"Print the expanded cell keys and exit without running.")
+  in
+  let no_history =
+    Arg.(value & flag & info [ "no-history" ] ~doc:"Run and print, but do not touch the history file.")
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Run a declarative benchmark suite and record a session")
+    Term.(const run $ file $ history_arg $ jobs_arg $ dry_run $ no_history)
+
+let report_cmd =
+  let run history last csv =
+    let h = load_history history in
+    (match csv with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Core.Suite.Report.to_csv ~last h));
+        Printf.printf "csv: -> %s\n" path);
+    print_string (Core.Suite.Report.render ~last h)
+  in
+  let last =
+    Arg.(value & opt int 8 & info [ "last" ] ~docv:"N" ~doc:"Sessions to include (newest N).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the long-format CSV export to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Render cross-session trend tables from the history")
+    Term.(const run $ history_arg $ last $ csv)
+
+let gate_cmd =
+  let run history last threshold gc_threshold self_test =
+    let h = load_history history in
+    match Core.Suite.Gate.check ~last ~threshold ~gc_threshold ?scale_first:self_test h with
+    | Error e -> die "%s" e
+    | Ok v ->
+        List.iter print_endline v.Core.Suite.Gate.lines;
+        if not v.Core.Suite.Gate.ok then Stdlib.exit 1
+  in
+  let last =
+    Arg.(value & opt int 5
+         & info [ "last" ] ~docv:"N" ~doc:"Baseline window: median over the last $(docv) \
+                                           same-host sessions before the newest.")
+  in
+  let threshold =
+    Arg.(value & opt float 1.25
+         & info [ "threshold" ] ~docv:"R"
+             ~doc:"Fail a cell whose median-normalized ns/run ratio exceeds $(docv).")
+  in
+  let gc_threshold =
+    Arg.(value & opt float 1.25
+         & info [ "gc-threshold" ] ~docv:"R"
+             ~doc:"Fail a cell whose raw minor-words ratio exceeds $(docv).")
+  in
+  let self_test =
+    Arg.(value & opt (some float) None
+         & info [ "self-test" ] ~docv:"FACTOR"
+             ~doc:"Multiply the newest session's first cell's ns/run by $(docv) before \
+                   gating — CI uses this to prove the gate fails on a synthetic \
+                   regression.")
+  in
+  Cmd.v
+    (Cmd.info "gate" ~doc:"Trend-aware regression gate over the session history")
+    Term.(const run $ history_arg $ last $ threshold $ gc_threshold $ self_test)
 
 (* --- list ---------------------------------------------------------------- *)
 
@@ -502,6 +637,7 @@ let main =
   let doc = "simulated reproduction of 'malloc() Performance in a Multithreaded Linux Environment'" in
   Cmd.group
     (Cmd.info "mallocbench" ~version:"1.0.0" ~doc)
-    [ bench1_cmd; bench2_cmd; bench3_cmd; server_cmd; experiment_cmd; list_cmd ]
+    [ bench1_cmd; bench2_cmd; bench3_cmd; server_cmd; experiment_cmd; suite_cmd; report_cmd;
+      gate_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -48,6 +48,10 @@ module Latency = Mb_workload.Latency
 module Trace = Mb_workload.Trace
 module Larson = Mb_workload.Larson
 
+(* The suite layer: declarative benchmark suites, session history and
+   the trend-aware regression gate. *)
+module Suite = Mb_suite
+
 (* Observability. *)
 module Obs = Mb_obs
 module Check = Mb_check

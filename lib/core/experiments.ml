@@ -42,6 +42,26 @@ let find id = List.assoc_opt id all
 
 let ids = List.map fst all
 
+(* The suite layer (lib/suite) sits below this library, so it sees the
+   registry only through this adapter record: ids in registry order plus
+   a quiet per-id runner whose result carries its own printer. A suite
+   cell printed through [print] is byte-identical to [run_all]'s echo of
+   the same experiment. *)
+let suite_registry =
+  { Mb_suite.Runner.exp_ids = ids;
+    exp_run =
+      (fun id ~quick ~seed ->
+        match find id with
+        | None -> None
+        | Some runner ->
+            Some
+              (fun () ->
+                let outcome = runner { Exp_common.quick; seed } in
+                { Mb_suite.Runner.print = (fun () -> Outcome.print outcome);
+                  ok = Outcome.passed outcome;
+                }));
+  }
+
 (* Every experiment is an independent deterministic computation, so the
    registry fans out across a domain pool. Futures are joined — and
    outcomes printed — in registry order from the calling domain, which

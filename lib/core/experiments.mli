@@ -17,6 +17,11 @@ val find : string -> runner option
 
 val ids : string list
 
+val suite_registry : Mb_suite.Runner.exp_registry
+(** The registry as {!Mb_suite.Runner} consumes it: ids in registry
+    order, plus a quiet runner per id whose [print] emits exactly what
+    {!run_all} would echo for that experiment. *)
+
 val run_all :
   ?jobs:int -> ?echo:bool -> ?only:string list -> Exp_common.opts -> Outcome.t list
 (** Runs (a subset of) the registry, printing each outcome (unless

@@ -1,0 +1,192 @@
+type report = {
+  lines : string list;
+  warnings : string list;
+  regressions : string list;
+  gc_regressions : string list;
+  missing : string list;
+  added : string list;
+  ok : bool;
+}
+
+let ( let* ) = Result.bind
+
+let read_json path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error (Printf.sprintf "compare: cannot read %s: %s" path e)
+  | text -> Result.map_error (Printf.sprintf "compare: %s: %s" path) (Json.of_string text)
+
+let kernels_of j path =
+  match Json.member "kernels_ns_per_run" j with
+  | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match Json.to_float v with
+          | Some v -> Ok ((k, v) :: acc)
+          | None -> Error (Printf.sprintf "compare: %s: bad number for %s" path k))
+        (Ok []) fields
+      |> Result.map List.rev
+  | Some _ -> Error (Printf.sprintf "compare: %s: malformed kernels_ns_per_run" path)
+  | None -> Error (Printf.sprintf "compare: %s: no kernels_ns_per_run field" path)
+
+(* The host block, rendered back to one canonical line for the
+   mismatch warning. None for schema-2 files, which predate it. *)
+let host_of j = Option.map (Json.to_string ?indent:None) (Json.member "host" j)
+
+(* "kernel_gc": { "name": {"minor_words_per_run": X, ...}, ... } *)
+let gc_minor_of j =
+  match Json.member "kernel_gc" j with
+  | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) ->
+          Option.map (fun m -> (k, m)) (Option.bind (Json.member "minor_words_per_run" v) Json.to_float))
+        fields
+  | _ -> []
+
+let median = function
+  | [] -> invalid_arg "median of empty list"
+  | xs ->
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+
+let compare_files ?(threshold = 1.10) ?(gc_threshold = 1.25) ~baseline ~fresh () =
+  let* base_json = read_json baseline in
+  let* fresh_json = read_json fresh in
+  let* base = kernels_of base_json baseline in
+  let* fresh_kernels = kernels_of fresh_json fresh in
+  let lines = ref [] and warnings = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  let warn fmt =
+    Printf.ksprintf
+      (fun s ->
+        lines := s :: !lines;
+        warnings := s :: !warnings)
+      fmt
+  in
+  (* Host provenance: warn whenever the two files don't carry the same
+     block — including when only one carries one at all (schema-2 files
+     have none), so a cross-schema comparison is never silent. *)
+  (match (host_of base_json, host_of fresh_json) with
+  | Some b, Some f when b <> f ->
+      warn "compare: WARNING: host mismatch\n  baseline %s\n  fresh    %s" b f
+  | Some b, None ->
+      warn "compare: WARNING: fresh file has no host block (schema 2)\n  baseline %s" b
+  | None, Some f ->
+      warn "compare: WARNING: baseline has no host block (schema 2)\n  fresh    %s" f
+  | Some _, Some _ | None, None -> ());
+  let missing =
+    List.filter (fun (k, _) -> not (List.mem_assoc k fresh_kernels)) base |> List.map fst
+  in
+  let added =
+    List.filter (fun (k, _) -> not (List.mem_assoc k base)) fresh_kernels |> List.map fst
+  in
+  let common =
+    List.filter_map
+      (fun (k, b) ->
+        match List.assoc_opt k fresh_kernels with
+        | Some f when b > 0. -> Some (k, b, f, f /. b)
+        | _ -> None)
+      base
+    |> List.sort compare
+  in
+  if common = [] then begin
+    say "compare: FAIL (no kernels in common)";
+    Ok
+      { lines = List.rev !lines;
+        warnings = List.rev !warnings;
+        regressions = [];
+        gc_regressions = [];
+        missing;
+        added;
+        ok = false;
+      }
+  end
+  else begin
+    (* Median normalization needs a fleet: with one shared kernel the
+       ratio normalizes to exactly 1.0 (hiding any regression), and
+       with two the median is their mean (a shared regression cancels
+       itself). Below three, gate on raw ratios and say so. *)
+    let m =
+      if List.length common >= 3 then median (List.map (fun (_, _, _, r) -> r) common)
+      else begin
+        warn
+          "compare: WARNING: only %d shared kernel(s) — too few to estimate the host \
+           factor, gating on raw ratios"
+          (List.length common);
+        1.0
+      end
+    in
+    say "compare: %d kernels, host factor (median ratio) %.3f, threshold %.2f"
+      (List.length common) m threshold;
+    let regressions = ref [] in
+    List.iter
+      (fun (k, b, f, r) ->
+        let norm = r /. m in
+        let flag =
+          if norm > threshold then begin
+            regressions := k :: !regressions;
+            "  <-- REGRESSION"
+          end
+          else ""
+        in
+        say "  %-16s %14.1f -> %14.1f ns/run  ratio %.3f  normalized %.3f%s" k b f r norm flag)
+      common;
+    List.iter (fun k -> say "  %-16s only in fresh run (no baseline yet)" k) added;
+    List.iter (fun k -> say "  %-16s MISSING from fresh run" k) missing;
+    let gc_regressions = ref [] in
+    let base_gc = gc_minor_of base_json and fresh_gc = gc_minor_of fresh_json in
+    List.iter
+      (fun (k, b) ->
+        match List.assoc_opt k fresh_gc with
+        | Some f when b > 0. ->
+            let r = f /. b in
+            if r > gc_threshold then begin
+              gc_regressions := k :: !gc_regressions;
+              say "  %-16s minor words %.0f -> %.0f per run  ratio %.3f  <-- GC REGRESSION" k
+                b f r
+            end
+        | _ -> ())
+      base_gc;
+    let ok = missing = [] && !regressions = [] && !gc_regressions = [] in
+    if ok then say "compare: OK"
+    else
+      say "compare: FAIL (%d regression(s), %d GC regression(s), %d missing)"
+        (List.length !regressions)
+        (List.length !gc_regressions)
+        (List.length missing);
+    Ok
+      { lines = List.rev !lines;
+        warnings = List.rev !warnings;
+        regressions = List.rev !regressions;
+        gc_regressions = List.rev !gc_regressions;
+        missing;
+        added;
+        ok;
+      }
+  end
+
+let main argv =
+  let usage () =
+    prerr_endline "usage: compare BASELINE.json FRESH.json [THRESHOLD]";
+    2
+  in
+  let run ~baseline ~fresh ~threshold =
+    match compare_files ~threshold ~baseline ~fresh () with
+    | Error msg ->
+        prerr_endline msg;
+        2
+    | Ok report ->
+        List.iter print_endline report.lines;
+        if report.ok then 0 else 1
+  in
+  match argv with
+  | [ _; b; f ] -> run ~baseline:b ~fresh:f ~threshold:1.10
+  | [ _; b; f; t ] -> (
+      match float_of_string_opt t with
+      | Some t when t > 1.0 -> run ~baseline:b ~fresh:f ~threshold:t
+      | _ ->
+          prerr_endline "compare: threshold must be a float > 1.0";
+          2)
+  | _ -> usage ()

@@ -1,0 +1,47 @@
+(** The kernel regression gate over a pair of [BENCH_kernels.json]
+    files — the library half of [bench/compare.exe], factored out so
+    the pass/fail logic is unit-testable against synthetic files.
+
+    Absolute ns/run numbers are not comparable across hosts, so the
+    gate works on per-kernel ratios fresh/baseline normalized by the
+    {e median} ratio: the median cancels the overall host-speed factor
+    (and most of a shared noise term), leaving each kernel's speed
+    relative to the rest of the fleet. Degenerate shared sets are
+    guarded: with fewer than three shared kernels there is no fleet to
+    normalize against (a singleton would always normalize to exactly
+    1.0 and hide any regression), so the gate falls back to raw ratios
+    and says so; an empty shared set fails outright.
+
+    Two further checks ride along: host provenance (schema 3) — a
+    warning carrying both host blocks when they differ, or when only
+    one side has one (schema-2 vs schema-3) — and an allocation-rate
+    gate on [kernel_gc.minor_words_per_run], which is
+    host-independent and therefore compared raw. *)
+
+type report = {
+  lines : string list;           (** the human-readable report, in order *)
+  warnings : string list;        (** subset of [lines]: non-fatal notices *)
+  regressions : string list;     (** kernels over the normalized threshold *)
+  gc_regressions : string list;  (** kernels over the minor-words threshold *)
+  missing : string list;         (** in baseline, absent from fresh — fails *)
+  added : string list;           (** fresh-only kernels — tolerated *)
+  ok : bool;
+}
+
+val compare_files :
+  ?threshold:float ->
+  ?gc_threshold:float ->
+  baseline:string ->
+  fresh:string ->
+  unit ->
+  (report, string) result
+(** [?threshold] is the normalized ns/run ratio limit (default 1.10),
+    [?gc_threshold] the raw minor-words ratio limit (default 1.25).
+    [Error] on unreadable or malformed files (usage errors, exit 2 in
+    the CLI); a comparison that ran but found regressions is
+    [Ok { ok = false; _ }] (exit 1). *)
+
+val main : string list -> int
+(** The [compare.exe] entry point: argv in, exit status out
+    (0 ok, 1 regressions/missing kernels, 2 usage or parse errors).
+    Prints the report to stdout and errors to stderr. *)

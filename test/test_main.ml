@@ -21,4 +21,6 @@ let () =
       ("fault", Test_fault.suite);
       ("extensions", Test_extensions.suite);
       ("experiments", Test_experiments.suite);
+      ("suite", Test_suite.suite);
+      ("compare", Test_compare.suite);
     ]
